@@ -1,0 +1,15 @@
+"""Table-printing helper shared by the figure/table benchmarks."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render rows under a title; visible with ``pytest -s``."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(f"{str(h):>{w}s}" for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(f"{str(c):>{w}s}" for c, w in zip(row, widths)))

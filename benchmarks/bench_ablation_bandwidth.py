@@ -1,0 +1,42 @@
+"""Ablation — memory-bandwidth sensitivity.
+
+The evaluation pins 300 GB/s (TPUv2 HBM) for both NPUs.  At 52.6 GHz that
+is only ~5.7 bytes/cycle for the SFQ design — this bench shows how the
+headline speedup moves as the shared bandwidth assumption changes.
+"""
+
+from _bench_utils import print_table
+
+from repro.core.sensitivity import bandwidth_sweep
+from repro.workloads.models import mobilenet, resnet50, vgg16
+
+BANDWIDTHS = (100, 300, 600, 1200)
+
+
+def test_bandwidth_sensitivity(benchmark):
+    workloads = [resnet50(), vgg16(), mobilenet()]
+    points = benchmark(bandwidth_sweep, BANDWIDTHS, None, workloads)
+
+    rows = [
+        (
+            f"{p.bandwidth_gbps:.0f} GB/s",
+            f"{p.sfq_tmacs:.1f}",
+            f"{p.tpu_tmacs:.1f}",
+            f"{p.speedup:.1f}x",
+        )
+        for p in points
+    ]
+    print_table(
+        "Bandwidth ablation: SuperNPU vs TPU mean TMAC/s",
+        ("bandwidth", "SuperNPU", "TPU", "speedup"),
+        rows,
+    )
+
+    by_bw = {p.bandwidth_gbps: p for p in points}
+    # The headline conclusion survives every bandwidth point.
+    assert all(p.speedup > 5 for p in points)
+    # SuperNPU throughput is non-decreasing in bandwidth.
+    series = [by_bw[b].sfq_tmacs for b in BANDWIDTHS]
+    assert all(a <= b * 1.001 for a, b in zip(series, series[1:]))
+    # At the paper's 300 GB/s point the speedup sits in the tens.
+    assert 5 <= by_bw[300].speedup <= 60

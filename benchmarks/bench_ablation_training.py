@@ -1,0 +1,53 @@
+"""Extension — training-step cost (the paper's stated follow-up to its
+inference-only "first case study").
+
+Models one SGD step as forward + input-gradient + weight-gradient passes
+plus a weight write-back, and reports the step/inference cost ratio per
+workload (canonically ~3x).
+"""
+
+from _bench_utils import print_table
+
+from repro.core.designs import supernpu
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.training import simulate_training_step
+
+BATCH = 8
+
+
+def run_training(library, workloads):
+    config = supernpu()
+    estimate = estimate_npu(config, library)
+    return {
+        network.name: simulate_training_step(config, network, batch=BATCH,
+                                             estimate=estimate)
+        for network in workloads
+    }
+
+
+def test_training_extension(benchmark, rsfq, workloads):
+    results = benchmark(run_training, rsfq, workloads)
+
+    rows = [
+        (
+            name,
+            f"{r.forward.total_cycles:,}",
+            f"{r.total_cycles:,}",
+            f"{r.training_vs_inference_ratio:.2f}x",
+            f"{r.mac_per_s / 1e12:.1f}",
+        )
+        for name, r in results.items()
+    ]
+    print_table(
+        f"Training step on SuperNPU (batch {BATCH})",
+        ("workload", "fwd cycles", "step cycles", "step/fwd", "TMAC/s"),
+        rows,
+    )
+
+    for name, result in results.items():
+        # One training step costs a small multiple of inference.
+        assert 2.0 <= result.training_vs_inference_ratio <= 8.0, name
+        # MAC volume: forward + dX + dW, so near 3x the forward MACs.
+        assert result.total_macs >= 2.5 * result.forward.total_macs
+    mean_ratio = sum(r.training_vs_inference_ratio for r in results.values()) / len(results)
+    assert 2.5 <= mean_ratio <= 6.0

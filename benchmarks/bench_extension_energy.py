@@ -1,0 +1,38 @@
+"""Extension — joules per inference (the per-image view of Table III)."""
+
+from _bench_utils import print_table
+
+from repro.core.energy import inference_energy_table, relative_energy
+from repro.workloads.models import resnet50
+
+
+def test_energy_per_image(benchmark):
+    rows = benchmark(inference_energy_table, resnet50())
+    rel = relative_energy(rows)
+
+    table = [
+        (
+            row.label,
+            f"{row.images_per_s:.0f}",
+            f"{row.wall_joules_per_image:.2e}",
+            f"{rel[row.label]:.4f}x",
+        )
+        for row in rows
+    ]
+    print_table(
+        "Energy per ResNet50 inference (wall, incl. cooling scenario)",
+        ("configuration", "images/s", "J/image", "vs TPU"),
+        table,
+    )
+
+    # ERSFQ with free cooling uses orders of magnitude less energy/image.
+    assert rel["ERSFQ-SuperNPU (free cooling)"] < 0.01
+    # Paying the full 400x cooling bill brings it to rough parity with the
+    # TPU on this workload (Table III's 1.23x perf/W is the 6-CNN average;
+    # individual workloads straddle 1.0).
+    assert 0.5 < rel["ERSFQ-SuperNPU (w/ cooling)"] < 1.5
+    # RSFQ with cooling is the energy disaster Table III shows.
+    assert rel["RSFQ-SuperNPU (w/ cooling)"] > 10
+    # Everyone's raw throughput is the same story as Fig. 23.
+    by_label = {row.label: row for row in rows}
+    assert by_label["ERSFQ-SuperNPU (w/ cooling)"].images_per_s > by_label["TPU"].images_per_s

@@ -1,0 +1,56 @@
+"""Fig. 13 — estimator validation against prototype measurements.
+
+Paper: average errors of 5.6% / 1.2% / 1.3% (frequency / power / area) for
+the microarchitecture prototypes and 4.7% / 2.3% / 9.5% for the 2x2 NPU.
+"""
+
+from _bench_utils import print_table
+
+from repro.estimator.validation import (
+    MAX_AREA_ERROR,
+    MAX_FREQUENCY_ERROR,
+    MAX_POWER_ERROR,
+    validate,
+)
+
+
+def test_fig13_validation(benchmark, rsfq):
+    rows_by_name = benchmark(validate, rsfq)
+
+    rows = []
+    for name, row in rows_by_name.items():
+        freq = (
+            "-"
+            if row.frequency_error is None
+            else f"{row.model_frequency_ghz:.1f}/{row.reference_frequency_ghz:.1f}"
+            f" ({100 * row.frequency_error:.1f}%)"
+        )
+        rows.append(
+            (
+                name,
+                freq,
+                f"{row.model_power_mw:.3f}/{row.reference_power_mw:.3f}"
+                f" ({100 * row.power_error:.1f}%)",
+                f"{row.model_area_mm2:.3f}/{row.reference_area_mm2:.3f}"
+                f" ({100 * row.area_error:.1f}%)",
+            )
+        )
+    print_table(
+        "Fig. 13: model vs measurement (model/ref, relative error)",
+        ("unit", "frequency GHz", "power mW", "area mm2"),
+        rows,
+    )
+
+    for row in rows_by_name.values():
+        if row.frequency_error is not None:
+            assert row.frequency_error <= MAX_FREQUENCY_ERROR
+        assert row.power_error <= MAX_POWER_ERROR
+        assert row.area_error <= MAX_AREA_ERROR
+
+    # Paper's per-metric averages: ~5.6% freq, ~1.2% power, ~1.3% area
+    # across the microarchitecture prototypes.
+    uarch = [rows_by_name[n] for n in ("mac_unit", "sr_mem", "nw_unit")]
+    power_mean = sum(r.power_error for r in uarch) / len(uarch)
+    area_mean = sum(r.area_error for r in uarch) / len(uarch)
+    assert power_mean <= 0.03
+    assert area_mean <= 0.03

@@ -1,0 +1,44 @@
+"""Fig. 15 — Baseline cycle breakdown per CNN workload.
+
+Paper: the preparation step (data movement before computation) dominates
+the Baseline's execution, above 90% of cycles for every workload.
+"""
+
+from _bench_utils import print_table
+
+from repro.core.designs import baseline
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+
+
+def run_fig15(library, workloads):
+    config = baseline()
+    estimate = estimate_npu(config, library)
+    return {
+        network.name: simulate(config, network, batch=1, estimate=estimate)
+        for network in workloads
+    }
+
+
+def test_fig15_cycle_breakdown(benchmark, rsfq, workloads):
+    runs = benchmark(run_fig15, rsfq, workloads)
+
+    rows = []
+    for name, run in runs.items():
+        split = run.cycle_breakdown()
+        rows.append(
+            (
+                name,
+                f"{100 * split['preparation']:.1f}%",
+                f"{100 * split['computation']:.1f}%",
+                f"{100 * split['memory']:.1f}%",
+            )
+        )
+    print_table(
+        "Fig. 15: Baseline cycle breakdown (paper: preparation > 90%)",
+        ("workload", "preparation", "computation", "memory"),
+        rows,
+    )
+
+    for name, run in runs.items():
+        assert run.cycle_breakdown()["preparation"] > 0.90, name

@@ -1,0 +1,49 @@
+"""Fig. 23 — the headline performance evaluation.
+
+Paper (speedup over the TPU core, average of six CNNs):
+Baseline 0.4x, Buffer opt. 7.7x, Resource opt. 17.3x, SuperNPU 23x, with
+MobileNet peaking around 42x on SuperNPU.
+"""
+
+from _bench_utils import print_table
+
+from repro.core.evaluate import evaluate_suite
+
+PAPER_AVERAGES = {
+    "Baseline": 0.4,
+    "Buffer opt.": 7.7,
+    "Resource opt.": 17.3,
+    "SuperNPU": 23.0,
+}
+
+
+def test_fig23_performance(benchmark):
+    suite = benchmark(evaluate_suite)
+    speedups = suite.speedups()
+
+    workload_names = list(suite.tpu_runs) + ["Average"]
+    rows = [
+        tuple([design] + [f"{speedups[design][w]:.2f}x" for w in workload_names])
+        for design in speedups
+    ]
+    print_table(
+        "Fig. 23: speedup over TPU (paper averages: 0.4 / 7.7 / 17.3 / 23)",
+        tuple(["design"] + workload_names),
+        rows,
+    )
+
+    averages = {design: row["Average"] for design, row in speedups.items()}
+    # Shape: the optimization sequence is strictly improving.
+    order = ["Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"]
+    values = [averages[d] for d in order]
+    assert values == sorted(values)
+    # Band checks around the paper's numbers.
+    assert averages["Baseline"] < 1.0
+    assert 3 <= averages["Buffer opt."] <= 25
+    assert 8 <= averages["Resource opt."] <= 40
+    assert 10 <= averages["SuperNPU"] <= 50
+    # Per-workload headline features.
+    supernpu = speedups["SuperNPU"]
+    assert all(v > 1 for k, v in supernpu.items() if k != "Average")
+    workloads_only = {k: v for k, v in supernpu.items() if k != "Average"}
+    assert max(workloads_only, key=workloads_only.get) == "MobileNet"

@@ -1,0 +1,56 @@
+"""Table III — power and power-efficiency evaluation.
+
+Paper:
+  RSFQ-SuperNPU:  964 W chip;  0.95x perf/W w/o cooling, 0.002x with.
+  ERSFQ-SuperNPU: 1.9 W chip;  490x  perf/W w/o cooling, 1.23x with.
+"""
+
+from _bench_utils import print_table
+
+from repro.core.evaluate import evaluate_suite, table3_rows
+
+
+def run_table3():
+    suite = evaluate_suite()
+    return table3_rows(suite)
+
+
+def test_table3_power_efficiency(benchmark):
+    rows = benchmark(run_table3)
+    reference = rows[0]
+
+    printable = [
+        (
+            r.label,
+            f"{r.chip_power_w:.2f}",
+            f"{r.wall_power_w:.1f}",
+            f"{r.normalized_to(reference):.3f}x",
+        )
+        for r in rows
+    ]
+    print_table(
+        "Table III: power & perf/W vs TPU "
+        "(paper: RSFQ 964 W, 0.95x/0.002x; ERSFQ 1.9 W, 490x/1.23x)",
+        ("configuration", "chip W", "wall W", "perf/W"),
+        printable,
+    )
+
+    by_label = {r.label: r for r in rows}
+    rsfq_free = by_label["RSFQ-SuperNPU (w/o cooling)"]
+    rsfq_cooled = by_label["RSFQ-SuperNPU (w/ cooling)"]
+    ersfq_free = by_label["ERSFQ-SuperNPU (w/o cooling)"]
+    ersfq_cooled = by_label["ERSFQ-SuperNPU (w/ cooling)"]
+
+    # Chip-power bands.
+    assert 900 <= rsfq_free.chip_power_w <= 1030  # paper: 964 W
+    assert 0.5 <= ersfq_free.chip_power_w <= 3.0  # paper: 1.9 W
+
+    # Normalized perf/W bands.
+    assert 0.3 <= rsfq_free.normalized_to(reference) <= 1.5  # paper: 0.95x
+    assert rsfq_cooled.normalized_to(reference) < 0.01  # paper: 0.002x
+    assert 200 <= ersfq_free.normalized_to(reference) <= 900  # paper: 490x
+    assert 0.8 <= ersfq_cooled.normalized_to(reference) <= 2.5  # paper: 1.23x
+
+    # Orderings the paper's discussion rests on.
+    assert ersfq_free.chip_power_w < 0.01 * rsfq_free.chip_power_w
+    assert ersfq_cooled.normalized_to(reference) > 1.0

@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Every benchmark both *times* its experiment (pytest-benchmark) and checks
+the paper-shape claims it reproduces; run with ``-s`` to see the
+regenerated rows next to the published values.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(scope="session")
+def rsfq():
+    from repro.device.cells import rsfq_library
+
+    return rsfq_library()
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    from repro.workloads.models import all_workloads
+
+    return all_workloads()

@@ -1,0 +1,49 @@
+"""Design-space exploration: rebuild the paper's Section V study.
+
+Sweeps buffer division (Fig. 20), PE-array width (Fig. 21) and registers
+per PE (Fig. 22) on a reduced workload set, then prints the winning
+configuration next to the published SuperNPU.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core.designs import supernpu
+from repro.core.optimizer import (
+    balanced_buffer_bytes,
+    buffer_sweep,
+    register_sweep,
+    resource_sweep,
+)
+from repro.uarch.config import MIB
+from repro.workloads.models import alexnet, mobilenet, resnet50
+
+
+def main() -> None:
+    workloads = [alexnet(), resnet50(), mobilenet()]
+
+    print("Step 1 — buffer integration + division (Fig. 20):")
+    for point in buffer_sweep(workloads=workloads, divisions=(2, 16, 64, 256)):
+        m = point.metrics
+        print(f"  {point.label:26s} single {m['single_batch']:6.2f}x  "
+              f"max {m['max_batch']:6.2f}x  area {m['area']:5.2f}x")
+
+    print("\nStep 2 — resource balancing (Fig. 21):")
+    for point in resource_sweep(workloads=workloads, widths=(256, 128, 64, 32)):
+        m = point.metrics
+        print(f"  width {point.label:14s} perf {m['max_batch_added_buffer']:6.1f}x  "
+              f"(fixed buffer {m['max_batch_fixed_buffer']:6.1f}x)")
+
+    print("\nStep 3 — registers per PE (Fig. 22):")
+    for width, rows in register_sweep(workloads=workloads, widths=(64, 128),
+                                      registers=(1, 4, 8, 16)).items():
+        series = "  ".join(f"{p.metrics['speedup']:.1f}x" for p in rows)
+        print(f"  width {width:3d}: {series}")
+
+    chosen = supernpu()
+    print(f"\nPaper's pick: {chosen.pe_array_width}-wide array, "
+          f"{balanced_buffer_bytes(64) // MIB} MB balanced buffers, "
+          f"{chosen.registers_per_pe} registers per PE -> SuperNPU")
+
+
+if __name__ == "__main__":
+    main()

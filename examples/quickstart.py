@@ -1,0 +1,45 @@
+"""Quickstart: estimate SuperNPU, simulate a CNN, compare with the TPU.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines.scalesim import TPU_CORE, simulate_cmos
+from repro.core.batching import paper_batch
+from repro.core.designs import supernpu
+from repro.device.cells import rsfq_library
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+from repro.workloads.models import resnet50
+
+
+def main() -> None:
+    # 1. Pick a design point and a cell library, and estimate the chip.
+    config = supernpu()
+    library = rsfq_library()
+    estimate = estimate_npu(config, library)
+    print(f"{config.name}: {estimate.frequency_ghz:.1f} GHz, "
+          f"{estimate.peak_tmacs:.0f} TMAC/s peak, "
+          f"{estimate.area_mm2_scaled():.0f} mm^2 (28 nm eq.), "
+          f"{estimate.static_power_w:.0f} W static (RSFQ)")
+
+    # 2. Run a workload through the cycle-level simulator.
+    network = resnet50()
+    batch = paper_batch(config.name, network.name)
+    run = simulate(config, network, batch=batch, estimate=estimate)
+    power = power_report(run, estimate)
+    print(f"\n{network.name} (batch {batch}):")
+    print(f"  latency     {run.latency_s * 1e6:8.1f} us")
+    print(f"  throughput  {run.tmacs:8.1f} TMAC/s")
+    print(f"  PE util     {100 * run.pe_utilization(estimate.peak_mac_per_s):8.1f} %")
+    print(f"  chip power  {power.total_w:8.1f} W")
+
+    # 3. Compare against the conventional TPU core.
+    tpu = simulate_cmos(TPU_CORE, network, batch=paper_batch("TPU", network.name))
+    print(f"\nTPU core: {tpu.tmacs:.1f} TMAC/s  ->  "
+          f"SuperNPU speedup {run.mac_per_s / tpu.mac_per_s:.1f}x "
+          f"(paper reports ~20x for ResNet50)")
+
+
+if __name__ == "__main__":
+    main()

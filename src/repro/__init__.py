@@ -1,0 +1,11 @@
+"""SuperNPU reproduction: SFQ-based NPU modeling and simulation.
+
+Public API highlights:
+
+* :mod:`repro.core` — named design points, evaluation pipeline, optimizer.
+* :mod:`repro.estimator` — frequency / power / area estimation.
+* :mod:`repro.simulator` — cycle-level performance simulation.
+* :mod:`repro.workloads` — the six CNN benchmark networks.
+"""
+
+__version__ = "1.0.0"

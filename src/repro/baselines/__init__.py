@@ -1,0 +1,5 @@
+"""Conventional (CMOS) NPU baseline: TPU core via a SCALE-SIM-like model."""
+
+from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE, simulate_cmos
+
+__all__ = ["CMOSNPUConfig", "TPU_CORE", "simulate_cmos"]

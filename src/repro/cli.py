@@ -1,0 +1,490 @@
+"""Command-line interface: ``supernpu <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``estimate <design>``  — frequency / power / area of a design point
+* ``simulate <design> <workload>`` — cycle-level run (perf + power)
+* ``evaluate``           — the Fig. 23 speedup table
+* ``validate``           — the Fig. 13 model validation
+* ``sweep <which>``      — Figs. 20/21/22 design-space sweeps
+* ``table1|table2|table3`` — the evaluation-setup and power tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Sequence
+
+
+def _fmt_row(cells: Iterable[object], widths: Sequence[int]) -> str:
+    return "  ".join(f"{str(c):>{w}s}" for c, w in zip(cells, widths))
+
+
+def _resolve_design(args: argparse.Namespace):
+    """A named design, or a JSON config file when --config-file is given."""
+    if getattr(args, "config_file", None):
+        from repro.core.config_io import load
+
+        return load(args.config_file)
+    from repro.core.designs import design_by_name
+
+    return design_by_name(args.design)
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.device.cells import Technology, library_for
+    from repro.estimator.arch_level import estimate_npu
+
+    config = _resolve_design(args)
+    library = library_for(Technology(args.technology))
+    est = estimate_npu(config, library)
+    print(f"design          : {config.name} ({library.technology.value})")
+    print(f"frequency       : {est.frequency_ghz:.2f} GHz  (critical: {est.critical_path})")
+    print(f"peak throughput : {est.peak_tmacs:.0f} TMAC/s")
+    print(f"static power    : {est.static_power_w:.2f} W")
+    print(f"area (native)   : {est.area_mm2:.0f} mm^2")
+    print(f"area (28nm eq.) : {est.area_mm2_scaled():.0f} mm^2")
+    for name, unit in est.units.items():
+        freq = "-" if unit.frequency_ghz is None else f"{unit.frequency_ghz:6.1f} GHz"
+        print(
+            f"  {name:14s} {freq:>12s}  {unit.static_power_w:9.2f} W  "
+            f"{unit.area_mm2 * 0.028**2 / 1:9.1f} mm^2(28nm)"
+        )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.batching import batch_for
+    from repro.device.cells import Technology, library_for
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.engine import simulate
+    from repro.simulator.power import power_report
+    from repro.workloads.models import by_name
+
+    config = _resolve_design(args)
+    network = by_name(args.workload)
+    library = library_for(Technology(args.technology))
+    estimate = estimate_npu(config, library)
+    batch = args.batch or batch_for(config, network)
+    run = simulate(config, network, batch=batch, estimate=estimate)
+    power = power_report(run, estimate)
+    breakdown = run.cycle_breakdown()
+    print(f"{config.name} running {network.name} (batch {batch})")
+    print(f"  cycles      : {run.total_cycles:,}")
+    print(f"  latency     : {run.latency_s * 1e6:.1f} us")
+    print(f"  throughput  : {run.tmacs:.2f} TMAC/s")
+    print(f"  PE util     : {100 * run.pe_utilization(estimate.peak_mac_per_s):.2f} %")
+    print(
+        "  breakdown   : "
+        f"prep {100 * breakdown['preparation']:.1f}% / "
+        f"compute {100 * breakdown['computation']:.1f}% / "
+        f"memory {100 * breakdown['memory']:.1f}%"
+    )
+    print(f"  chip power  : {power.total_w:.2f} W "
+          f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.evaluate import evaluate_suite
+
+    suite = evaluate_suite()
+    speedups = suite.speedups()
+    workloads = list(suite.tpu_runs) + ["Average"]
+    widths = [14] + [10] * len(workloads)
+    print(_fmt_row(["design (vs TPU)"] + workloads, widths))
+    for design, row in speedups.items():
+        print(_fmt_row([design] + [f"{row[w]:.2f}x" for w in workloads], widths))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.estimator.validation import all_within_envelope, validate
+
+    rows = validate()
+    widths = [10, 22, 18, 18]
+    print(_fmt_row(["unit", "freq (model/ref GHz)", "power err", "area err"], widths))
+    for name, row in rows.items():
+        if row.model_frequency_ghz is None or row.reference_frequency_ghz is None:
+            freq = "-"
+        else:
+            freq = f"{row.model_frequency_ghz:.1f}/{row.reference_frequency_ghz:.1f}"
+        print(
+            _fmt_row(
+                [
+                    name,
+                    freq,
+                    f"{100 * row.power_error:.1f}%",
+                    f"{100 * row.area_error:.1f}%",
+                ],
+                widths,
+            )
+        )
+    ok = all_within_envelope(rows)
+    print("validation:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.optimizer import buffer_sweep, register_sweep, resource_sweep
+
+    if args.plot:
+        from repro.core.plotting import sweep_chart
+
+        if args.which == "buffers":
+            print(sweep_chart(buffer_sweep(), "max_batch"))
+        elif args.which == "resources":
+            print(sweep_chart(resource_sweep(), "max_batch_added_buffer"))
+        else:
+            for width, rows in register_sweep().items():
+                print(f"width {width}:")
+                print(sweep_chart(rows, "speedup"))
+        return 0
+
+    if args.which == "buffers":
+        for point in buffer_sweep():
+            m = point.metrics
+            print(
+                f"{point.label:26s} single={m['single_batch']:7.2f}x "
+                f"max={m['max_batch']:7.2f}x area={m['area']:5.2f}x"
+            )
+    elif args.which == "resources":
+        for point in resource_sweep():
+            m = point.metrics
+            print(
+                f"{point.label:14s} fixed={m['max_batch_fixed_buffer']:7.2f}x "
+                f"added={m['max_batch_added_buffer']:7.2f}x "
+                f"intensity={m['intensity']:9.0f}"
+            )
+    else:
+        for width, rows in register_sweep().items():
+            for point in rows:
+                print(f"{point.label:22s} speedup={point.metrics['speedup']:7.2f}x")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    if args.table == "1":
+        from repro.core.designs import all_designs
+        from repro.device.cells import rsfq_library
+        from repro.estimator.arch_level import estimate_npu
+
+        library = rsfq_library()
+        widths = [14, 8, 8, 10, 12, 12]
+        print(_fmt_row(["design", "array", "regs", "freq", "peak", "area(28nm)"], widths))
+        for config in all_designs():
+            est = estimate_npu(config, library)
+            print(
+                _fmt_row(
+                    [
+                        config.name,
+                        f"{config.pe_array_width}x{config.pe_array_height}",
+                        config.registers_per_pe,
+                        f"{est.frequency_ghz:.1f}GHz",
+                        f"{est.peak_tmacs:.0f}TMAC/s",
+                        f"{est.area_mm2_scaled():.0f}mm2",
+                    ],
+                    widths,
+                )
+            )
+    elif args.table == "2":
+        from repro.core.batching import PAPER_BATCHES
+
+        workloads = list(next(iter(PAPER_BATCHES.values())))
+        widths = [14] + [10] * len(workloads)
+        print(_fmt_row(["design"] + workloads, widths))
+        for design, row in PAPER_BATCHES.items():
+            print(_fmt_row([design] + [row[w] for w in workloads], widths))
+    else:
+        from repro.core.evaluate import evaluate_suite, table3_rows
+
+        suite = evaluate_suite()
+        rows = table3_rows(suite)
+        reference = rows[0]
+        widths = [30, 12, 14, 16]
+        print(_fmt_row(["configuration", "chip (W)", "wall (W)", "perf/W vs TPU"], widths))
+        for row in rows:
+            print(
+                _fmt_row(
+                    [
+                        row.label,
+                        f"{row.chip_power_w:.2f}",
+                        f"{row.wall_power_w:.1f}",
+                        f"{row.normalized_to(reference):.3f}x",
+                    ],
+                    widths,
+                )
+            )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.batching import batch_for
+    from repro.core.designs import design_by_name
+    from repro.core.report import (
+        layer_records,
+        simulation_record,
+        to_csv,
+        to_json,
+    )
+    from repro.device.cells import Technology, library_for
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.engine import simulate
+    from repro.simulator.power import power_report
+    from repro.workloads.models import by_name
+
+    config = design_by_name(args.design)
+    network = by_name(args.workload)
+    library = library_for(Technology(args.technology))
+    estimate = estimate_npu(config, library)
+    batch = args.batch or batch_for(config, network)
+    run = simulate(config, network, batch=batch, estimate=estimate)
+    if args.layers:
+        records = layer_records(run)
+        print(to_csv(records) if args.format == "csv" else to_json(records))
+    else:
+        record = simulation_record(run, power_report(run, estimate))
+        print(to_csv([record]) if args.format == "csv" else to_json(record))
+    return 0
+
+
+def cmd_floorplan(args: argparse.Namespace) -> int:
+    from repro.device.cells import rsfq_library
+    from repro.estimator.floorplan import floorplan, implied_frequency_ghz
+
+    config = _resolve_design(args)
+    library = rsfq_library()
+    plan = floorplan(config, library)
+    print(f"{config.name}: die {plan.die_width_mm:.1f} x {plan.die_height_mm:.1f} mm "
+          f"(AIST 1.0 um), packing {100 * plan.packing_efficiency:.1f}%")
+    widths = [16, 10, 10, 10, 10]
+    print(_fmt_row(["block", "w (mm)", "h (mm)", "x", "y"], widths))
+    for name, block in plan.blocks.items():
+        print(_fmt_row(
+            [name, f"{block.width_mm:.1f}", f"{block.height_mm:.1f}",
+             f"{block.x_mm:.1f}", f"{block.y_mm:.1f}"], widths))
+    print("interfaces (edge gap + routing allowance):")
+    for name in plan.edge_gaps_mm:
+        print(f"  {name:26s} {plan.interface_distance_mm(name):.2f} mm")
+    print(f"implied clock: {implied_frequency_ghz(config, library):.1f} GHz")
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    from repro.core.energy import inference_energy_table, relative_energy
+    from repro.workloads.models import by_name
+
+    network = by_name(args.workload)
+    rows = inference_energy_table(network)
+    rel = relative_energy(rows)
+    widths = [32, 14, 16, 18, 10]
+    print(_fmt_row(
+        ["configuration", "images/s", "chip J/img", "wall J/img", "vs TPU"], widths))
+    for row in rows:
+        print(_fmt_row(
+            [
+                row.label,
+                f"{row.images_per_s:.0f}",
+                f"{row.chip_joules_per_image:.2e}",
+                f"{row.wall_joules_per_image:.2e}",
+                f"{rel[row.label]:.3f}x",
+            ],
+            widths,
+        ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare, winner
+    from repro.core.config_io import load
+    from repro.core.designs import design_by_name
+    from repro.workloads.models import by_name
+
+    configs = []
+    for spec in args.designs:
+        if spec.endswith(".json"):
+            configs.append(load(spec))
+        else:
+            configs.append(design_by_name(spec))
+    workloads = [by_name(w) for w in args.workloads.split(",")] if args.workloads else None
+    columns = compare(configs, workloads=workloads)
+
+    workload_names = list(columns[0].throughput_tmacs)
+    widths = [16, 8, 8, 10, 10] + [10] * len(workload_names)
+    print(_fmt_row(
+        ["design", "GHz", "peak", "area mm2", "mean T/s"] + workload_names, widths))
+    for column in columns:
+        print(_fmt_row(
+            [
+                column.config.name,
+                f"{column.frequency_ghz:.1f}",
+                f"{column.peak_tmacs:.0f}",
+                f"{column.area_mm2_28nm:.0f}",
+                f"{column.mean_tmacs:.1f}",
+            ]
+            + [f"{column.throughput_tmacs[name]:.1f}" for name in workload_names],
+            widths,
+        ))
+    print(f"winner (mean throughput): {winner(columns).config.name}")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.core.experiments import EXPERIMENTS, EXTENSIONS, reproduce_all
+
+    only = args.only.split(",") if args.only else None
+    results = reproduce_all(
+        out_dir=args.out, only=only, include_extensions=args.extensions
+    )
+    for name in results:
+        marker = f"-> {args.out}/{name}.json" if args.out else "(in memory)"
+        print(f"  {name:28s} {marker}")
+    available = len(EXPERIMENTS) + (len(EXTENSIONS) if args.extensions else 0)
+    print(f"{len(results)} of {available} experiments regenerated")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads.analysis import duplication_report
+    from repro.workloads.models import all_workloads
+
+    widths = [12, 8, 10, 12, 14]
+    print(_fmt_row(["workload", "layers", "GMACs", "weights MB", "duplication"], widths))
+    for network in all_workloads():
+        report = duplication_report(network)
+        print(
+            _fmt_row(
+                [
+                    network.name,
+                    len(network.layers),
+                    f"{network.total_macs / 1e9:.2f}",
+                    f"{network.total_weight_bytes / 2**20:.1f}",
+                    f"{100 * report.duplication_ratio:.1f}%",
+                ],
+                widths,
+            )
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.designs import design_by_name
+    from repro.simulator.trace import trace_layer, trace_summary, trace_to_csv
+    from repro.workloads.models import by_name
+
+    config = design_by_name(args.design)
+    network = by_name(args.workload)
+    matches = [l for l in network.layers if l.name == args.layer]
+    if not matches:
+        names = ", ".join(l.name for l in network.layers[:12])
+        raise KeyError(f"no layer {args.layer!r} in {network.name}; first layers: {names}")
+    events = trace_layer(matches[0], config, batch=args.batch)
+    if args.format == "csv":
+        print(trace_to_csv(events), end="")
+    else:
+        summary = trace_summary(events)
+        print(f"{config.name} / {network.name} / {args.layer} (batch {args.batch})")
+        for phase, cycles in summary.items():
+            print(f"  {phase:14s} {cycles:>12,} cycles")
+        print(f"  mappings       {events[-1].mapping_index + 1:>12,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="supernpu",
+        description="SuperNPU: SFQ-based NPU modeling and simulation (MICRO 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_est = sub.add_parser("estimate", help="frequency / power / area of a design")
+    p_est.add_argument("design", nargs="?", default="supernpu")
+    p_est.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
+    p_est.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_sim = sub.add_parser("simulate", help="cycle-level simulation of one workload")
+    p_sim.add_argument("design", nargs="?", default="supernpu")
+    p_sim.add_argument("workload")
+    p_sim.add_argument("--batch", type=int, default=None)
+    p_sim.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
+    p_sim.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_floor = sub.add_parser("floorplan", help="block placement and interfaces")
+    p_floor.add_argument("design", nargs="?", default="supernpu")
+    p_floor.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    p_floor.set_defaults(func=cmd_floorplan)
+
+    p_energy = sub.add_parser("energy", help="joules per image across designs")
+    p_energy.add_argument("workload")
+    p_energy.set_defaults(func=cmd_energy)
+
+    p_eval = sub.add_parser("evaluate", help="full Fig. 23 speedup comparison")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_val = sub.add_parser("validate", help="Fig. 13 model validation")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_sweep = sub.add_parser("sweep", help="design-space sweeps (Figs. 20-22)")
+    p_sweep.add_argument("which", choices=["buffers", "resources", "registers"])
+    p_sweep.add_argument("--plot", action="store_true",
+                         help="render the sweep as an ASCII chart")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_table = sub.add_parser("table", help="print Table I / II / III")
+    p_table.add_argument("table", choices=["1", "2", "3"])
+    p_table.set_defaults(func=cmd_table)
+
+    p_report = sub.add_parser("report", help="export a run as JSON/CSV records")
+    p_report.add_argument("design")
+    p_report.add_argument("workload")
+    p_report.add_argument("--batch", type=int, default=None)
+    p_report.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
+    p_report.add_argument("--format", choices=["json", "csv"], default="json")
+    p_report.add_argument("--layers", action="store_true",
+                          help="emit per-layer records instead of the summary")
+    p_report.set_defaults(func=cmd_report)
+
+    p_compare = sub.add_parser("compare", help="side-by-side design comparison")
+    p_compare.add_argument("designs", nargs="+",
+                           help="named designs or .json config files")
+    p_compare.add_argument("--workloads", default=None,
+                           help="comma-separated workload names (default: all six)")
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_repro = sub.add_parser("reproduce", help="run every figure/table experiment")
+    p_repro.add_argument("--out", default=None, help="directory for per-experiment JSON")
+    p_repro.add_argument("--only", default=None,
+                         help="comma-separated experiment ids (default: all)")
+    p_repro.add_argument("--extensions", action="store_true",
+                         help="also run the ext_* extension studies")
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    p_workloads = sub.add_parser("workloads", help="list the benchmark networks")
+    p_workloads.set_defaults(func=cmd_workloads)
+
+    p_trace = sub.add_parser("trace", help="per-mapping execution trace of one layer")
+    p_trace.add_argument("design")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("layer")
+    p_trace.add_argument("--batch", type=int, default=1)
+    p_trace.add_argument("--format", choices=["summary", "csv"], default="summary")
+    p_trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Cryogenic cooling cost models."""
+
+from repro.cooling.cryocooler import (
+    AMBIENT_K,
+    PAPER_COOLER,
+    PAPER_COOLING_FACTOR,
+    Cryocooler,
+    carnot_cooling_factor,
+)
+
+__all__ = [
+    "AMBIENT_K",
+    "PAPER_COOLER",
+    "PAPER_COOLING_FACTOR",
+    "Cryocooler",
+    "carnot_cooling_factor",
+]

@@ -1,0 +1,61 @@
+"""4 K cryogenic cooling cost model (paper Section VI-C).
+
+The paper charges 400 W of wall power per watt dissipated at 4 K,
+following Holmes, Ripple & Manheimer ("Energy-efficient superconducting
+computing — power budgets and requirements").  For context the model also
+exposes the Carnot bound and the implied specific efficiency, and supports
+the paper's "free cooling" scenario (cooling amortized by the facility, as
+assumed for quantum computers sharing the fridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wall watts per 4 K watt used throughout the paper's evaluation.
+PAPER_COOLING_FACTOR = 400.0
+
+#: Ambient (hot-side) temperature for the Carnot bound, kelvin.
+AMBIENT_K = 300.0
+
+
+def carnot_cooling_factor(cold_k: float = 4.2, hot_k: float = AMBIENT_K) -> float:
+    """Ideal (Carnot) wall watts per cold watt: (Th - Tc) / Tc."""
+    if cold_k <= 0 or hot_k <= cold_k:
+        raise ValueError("temperatures must satisfy 0 < cold < hot")
+    return (hot_k - cold_k) / cold_k
+
+
+@dataclass(frozen=True)
+class Cryocooler:
+    """A cryocooler with a fixed specific power (wall W per cold W)."""
+
+    factor: float = PAPER_COOLING_FACTOR
+    cold_temperature_k: float = 4.2
+
+    def __post_init__(self) -> None:
+        carnot = carnot_cooling_factor(self.cold_temperature_k)
+        if self.factor < carnot:
+            raise ValueError(
+                f"cooling factor {self.factor} beats the Carnot bound {carnot:.1f}"
+            )
+
+    @property
+    def percent_of_carnot(self) -> float:
+        """Fraction of ideal efficiency this cooler achieves (~17.6% @400x)."""
+        return carnot_cooling_factor(self.cold_temperature_k) / self.factor
+
+    def cooling_power_w(self, chip_power_w: float) -> float:
+        if chip_power_w < 0:
+            raise ValueError("chip power must be non-negative")
+        return self.factor * chip_power_w
+
+    def wall_power_w(self, chip_power_w: float, free_cooling: bool = False) -> float:
+        """Total wall power: chip power plus (unless free) cooling power."""
+        if free_cooling:
+            return chip_power_w
+        return chip_power_w + self.cooling_power_w(chip_power_w)
+
+
+#: The paper's cooler (400 W / W at 4.2 K).
+PAPER_COOLER = Cryocooler()

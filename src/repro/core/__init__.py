@@ -1,0 +1,150 @@
+"""SuperNPU core API: design points, evaluation, metrics, optimization."""
+
+from repro.core.designs import (
+    DESIGN_ORDER,
+    all_designs,
+    baseline,
+    buffer_opt,
+    design_by_name,
+    resource_opt,
+    supernpu,
+)
+from repro.core.batching import (
+    BATCH_CAP,
+    PAPER_BATCHES,
+    batch_for,
+    derived_batch,
+    paper_batch,
+)
+from repro.core.metrics import EfficiencyRow, RooflinePoint, efficiency_row, roofline_point
+from repro.core.evaluate import (
+    DesignEvaluation,
+    EvaluationSuite,
+    evaluate_design,
+    evaluate_suite,
+    table3_rows,
+)
+from repro.core.scaling import ScaledProjection, project, scaling_sweep
+from repro.core.search import (
+    AREA_BUDGET_MM2,
+    Candidate,
+    best,
+    pareto_frontier,
+    search,
+)
+from repro.core.sensitivity import (
+    BandwidthPoint,
+    CoolingPoint,
+    bandwidth_sweep,
+    cooling_sweep,
+)
+from repro.core.ablate import AblationRow, ablated_configs, ablation_study
+from repro.core.compare import ComparisonColumn, compare, comparison_records, winner
+from repro.core.plotting import bar_chart, column_chart, sweep_chart
+from repro.core.experiments import EXPERIMENTS, reproduce_all
+from repro.core.golden import GOLDEN, check as check_goldens, current_record
+from repro.core.energy import (
+    EnergyRow,
+    best_by_wall_energy,
+    energy_row,
+    inference_energy_table,
+    relative_energy,
+)
+from repro.core.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load as load_config,
+    save as save_config,
+)
+from repro.core.report import (
+    estimate_record,
+    layer_records,
+    simulation_record,
+    to_csv,
+    to_json,
+)
+from repro.core.optimizer import (
+    FIG20_DIVISIONS,
+    FIG21_WIDTHS,
+    FIG22_REGISTERS,
+    SweepPoint,
+    balanced_buffer_bytes,
+    buffer_sweep,
+    register_sweep,
+    resource_config,
+    resource_sweep,
+)
+
+__all__ = [
+    "DESIGN_ORDER",
+    "all_designs",
+    "baseline",
+    "buffer_opt",
+    "design_by_name",
+    "resource_opt",
+    "supernpu",
+    "BATCH_CAP",
+    "PAPER_BATCHES",
+    "batch_for",
+    "derived_batch",
+    "paper_batch",
+    "EfficiencyRow",
+    "RooflinePoint",
+    "efficiency_row",
+    "roofline_point",
+    "DesignEvaluation",
+    "EvaluationSuite",
+    "evaluate_design",
+    "evaluate_suite",
+    "table3_rows",
+    "FIG20_DIVISIONS",
+    "FIG21_WIDTHS",
+    "FIG22_REGISTERS",
+    "SweepPoint",
+    "balanced_buffer_bytes",
+    "buffer_sweep",
+    "register_sweep",
+    "resource_config",
+    "resource_sweep",
+    "ScaledProjection",
+    "project",
+    "scaling_sweep",
+    "AREA_BUDGET_MM2",
+    "Candidate",
+    "best",
+    "pareto_frontier",
+    "search",
+    "BandwidthPoint",
+    "CoolingPoint",
+    "bandwidth_sweep",
+    "cooling_sweep",
+    "AblationRow",
+    "ablated_configs",
+    "ablation_study",
+    "ComparisonColumn",
+    "compare",
+    "comparison_records",
+    "winner",
+    "EXPERIMENTS",
+    "reproduce_all",
+    "bar_chart",
+    "column_chart",
+    "sweep_chart",
+    "GOLDEN",
+    "check_goldens",
+    "current_record",
+    "EnergyRow",
+    "best_by_wall_energy",
+    "energy_row",
+    "inference_energy_table",
+    "relative_energy",
+    "config_from_dict",
+    "config_to_dict",
+    "load_config",
+    "save_config",
+    "estimate_record",
+    "layer_records",
+    "simulation_record",
+    "to_csv",
+    "to_json",
+]

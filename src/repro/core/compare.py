@@ -1,0 +1,97 @@
+"""Side-by-side comparison of arbitrary design points.
+
+The evaluation pipeline compares the paper's five named designs; users
+exploring their own configurations need the same view for *any* set of
+configs: clock, peak, area, power, and per-workload throughput in one
+record.  This powers ``supernpu compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.batching import batch_for
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network, all_workloads
+
+
+@dataclass
+class ComparisonColumn:
+    """One design's full scorecard."""
+
+    config: NPUConfig
+    frequency_ghz: float
+    peak_tmacs: float
+    area_mm2_28nm: float
+    static_power_w: float
+    throughput_tmacs: Dict[str, float] = field(default_factory=dict)
+    batches: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_tmacs(self) -> float:
+        if not self.throughput_tmacs:
+            return 0.0
+        return sum(self.throughput_tmacs.values()) / len(self.throughput_tmacs)
+
+
+def compare(
+    configs: List[NPUConfig],
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+) -> List[ComparisonColumn]:
+    """Score every config on every workload (Table II / derived batches)."""
+    if not configs:
+        raise ValueError("need at least one design to compare")
+    names = [config.name for config in configs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"design names must be unique, got {names}")
+    library = library or library_for(Technology.RSFQ)
+    workloads = workloads if workloads is not None else all_workloads()
+
+    columns: List[ComparisonColumn] = []
+    for config in configs:
+        estimate = estimate_npu(config, library)
+        column = ComparisonColumn(
+            config=config,
+            frequency_ghz=estimate.frequency_ghz,
+            peak_tmacs=estimate.peak_tmacs,
+            area_mm2_28nm=estimate.area_mm2_scaled(),
+            static_power_w=estimate.static_power_w,
+        )
+        for network in workloads:
+            batch = batch_for(config, network)
+            run = simulate(config, network, batch=batch, estimate=estimate)
+            column.throughput_tmacs[network.name] = run.tmacs
+            column.batches[network.name] = batch
+        columns.append(column)
+    return columns
+
+
+def winner(columns: List[ComparisonColumn]) -> ComparisonColumn:
+    """The column with the best mean throughput."""
+    if not columns:
+        raise ValueError("nothing to compare")
+    return max(columns, key=lambda column: column.mean_tmacs)
+
+
+def comparison_records(columns: List[ComparisonColumn]) -> List[Dict[str, object]]:
+    """Flat dict records (JSON/CSV-ready) of a comparison."""
+    records = []
+    for column in columns:
+        record: Dict[str, object] = {
+            "design": column.config.name,
+            "frequency_ghz": column.frequency_ghz,
+            "peak_tmacs": column.peak_tmacs,
+            "area_mm2_28nm": column.area_mm2_28nm,
+            "static_power_w": column.static_power_w,
+            "mean_tmacs": column.mean_tmacs,
+        }
+        for name, value in column.throughput_tmacs.items():
+            record[f"tmacs_{name}"] = value
+        records.append(record)
+    return records

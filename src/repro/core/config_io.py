@@ -1,0 +1,58 @@
+"""NPUConfig (de)serialization: experiment configs as JSON files.
+
+Lets design points travel as plain JSON — regression suites, sweep
+manifests, issue reports — and lets the CLI consume ad-hoc configurations
+without code changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.uarch.config import NPUConfig
+
+#: Fields accepted from JSON (exactly the dataclass's fields).
+_FIELDS = {field.name for field in dataclasses.fields(NPUConfig)}
+
+
+def config_to_dict(config: NPUConfig) -> Dict[str, Any]:
+    """A plain-JSON-compatible dict of the configuration."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> NPUConfig:
+    """Build (and validate) a configuration from a dict.
+
+    Unknown keys are rejected loudly — silent typos in sweep manifests are
+    how wrong experiments get published.
+    """
+    unknown = set(data) - _FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown NPUConfig fields {sorted(unknown)}; known: {sorted(_FIELDS)}"
+        )
+    if "name" not in data:
+        raise ValueError("a config needs a 'name'")
+    return NPUConfig(**data)
+
+
+def dumps(config: NPUConfig, indent: int = 2) -> str:
+    return json.dumps(config_to_dict(config), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> NPUConfig:
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("config JSON must be an object")
+    return config_from_dict(data)
+
+
+def save(config: NPUConfig, path: Union[str, Path]) -> None:
+    Path(path).write_text(dumps(config) + "\n", encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> NPUConfig:
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,117 @@
+"""The paper's named NPU design points (Table I).
+
+==============  =====  =======  =========  ===========  =========
+Parameter       TPU    Baseline Buffer opt Resource opt SuperNPU
+==============  =====  =======  =========  ===========  =========
+array (W x H)   256^2  256^2    256^2      64 x 256     64 x 256
+ifmap buffer    24 MB* 8 MB     12 MB      24 MB        24 MB
+output buffer          8 MB     12 MB**    24 MB**      24 MB**
+psum buffer            8 MB     --         --           --
+weight buffer          64 KB    64 KB      16 KB        128 KB
+regs / PE       1      1        1          1            8
+==============  =====  =======  =========  ===========  =========
+
+(* unified buffer; ** integrated psum+ofmap buffer.)  Buffer division
+degrees follow Section V-B: 64 chunks after the buffer optimization, with
+the integrated output buffer divided further to 256 when the PE array
+narrows to 64 columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.uarch.config import KIB, MIB, NPUConfig
+
+
+def baseline() -> NPUConfig:
+    """The naive SFQ-friendly design of Section III / V-A."""
+    return NPUConfig(
+        name="Baseline",
+        pe_array_width=256,
+        pe_array_height=256,
+        ifmap_buffer_bytes=8 * MIB,
+        output_buffer_bytes=8 * MIB,
+        psum_buffer_bytes=8 * MIB,
+        weight_buffer_bytes=64 * KIB,
+        integrated_output_buffer=False,
+        ifmap_division=1,
+        output_division=1,
+        registers_per_pe=1,
+    )
+
+
+def buffer_opt() -> NPUConfig:
+    """Baseline + integrated and 64-way divided buffers (Section V-B1)."""
+    return NPUConfig(
+        name="Buffer opt.",
+        pe_array_width=256,
+        pe_array_height=256,
+        ifmap_buffer_bytes=12 * MIB,
+        output_buffer_bytes=12 * MIB,
+        psum_buffer_bytes=0,
+        weight_buffer_bytes=64 * KIB,
+        integrated_output_buffer=True,
+        ifmap_division=64,
+        output_division=64,
+        registers_per_pe=1,
+    )
+
+
+def resource_opt() -> NPUConfig:
+    """Buffer opt + narrowed array / doubled buffers (Section V-B2)."""
+    return NPUConfig(
+        name="Resource opt.",
+        pe_array_width=64,
+        pe_array_height=256,
+        ifmap_buffer_bytes=24 * MIB,
+        output_buffer_bytes=24 * MIB,
+        psum_buffer_bytes=0,
+        weight_buffer_bytes=16 * KIB,
+        integrated_output_buffer=True,
+        ifmap_division=64,
+        output_division=256,
+        registers_per_pe=1,
+    )
+
+
+def supernpu() -> NPUConfig:
+    """The full SuperNPU: resource opt + 8 weight registers per PE."""
+    return NPUConfig(
+        name="SuperNPU",
+        pe_array_width=64,
+        pe_array_height=256,
+        ifmap_buffer_bytes=24 * MIB,
+        output_buffer_bytes=24 * MIB,
+        psum_buffer_bytes=0,
+        weight_buffer_bytes=128 * KIB,
+        integrated_output_buffer=True,
+        ifmap_division=64,
+        output_division=256,
+        registers_per_pe=8,
+    )
+
+
+#: Evaluation order used by the paper's figures.
+DESIGN_ORDER = ("Baseline", "Buffer opt.", "Resource opt.", "SuperNPU")
+
+
+def all_designs() -> List[NPUConfig]:
+    """The four SFQ design points in evaluation order."""
+    return [baseline(), buffer_opt(), resource_opt(), supernpu()]
+
+
+def design_by_name(name: str) -> NPUConfig:
+    designs: Dict[str, NPUConfig] = {d.name.lower(): d for d in all_designs()}
+    key = name.lower()
+    aliases = {
+        "bufferopt": "buffer opt.",
+        "buffer_opt": "buffer opt.",
+        "resourceopt": "resource opt.",
+        "resource_opt": "resource opt.",
+        "super": "supernpu",
+    }
+    key = aliases.get(key.replace(" ", "").replace(".", ""), key)
+    if key in designs:
+        return designs[key]
+    raise KeyError(f"unknown design {name!r}; known: {[d.name for d in all_designs()]}")

@@ -1,0 +1,115 @@
+"""Energy-per-inference metrics (the per-image view of Table III).
+
+Table III compares sustained performance per watt; serving systems also
+budget *joules per image*.  This module derives both from a simulation run
+and a power report, for any cooling scenario, and compares designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE, simulate_cmos
+from repro.cooling.cryocooler import Cryocooler, PAPER_COOLER
+from repro.core.batching import paper_batch
+from repro.core.designs import supernpu
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+from repro.simulator.results import SimulationResult
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy accounting for one (design, workload) pair."""
+
+    label: str
+    images_per_s: float
+    chip_power_w: float
+    wall_power_w: float
+
+    @property
+    def chip_joules_per_image(self) -> float:
+        if self.images_per_s <= 0:
+            raise ValueError("throughput must be positive")
+        return self.chip_power_w / self.images_per_s
+
+    @property
+    def wall_joules_per_image(self) -> float:
+        if self.images_per_s <= 0:
+            raise ValueError("throughput must be positive")
+        return self.wall_power_w / self.images_per_s
+
+
+def energy_row(
+    label: str,
+    run: SimulationResult,
+    chip_power_w: float,
+    cooler: Optional[Cryocooler] = None,
+    free_cooling: bool = False,
+) -> EnergyRow:
+    """Build an energy row from a simulation and its chip power."""
+    wall = chip_power_w
+    if cooler is not None:
+        wall = cooler.wall_power_w(chip_power_w, free_cooling=free_cooling)
+    return EnergyRow(
+        label=label,
+        images_per_s=run.images_per_s,
+        chip_power_w=chip_power_w,
+        wall_power_w=wall,
+    )
+
+
+def inference_energy_table(
+    network: Network,
+    config: Optional[NPUConfig] = None,
+    cooler: Cryocooler = PAPER_COOLER,
+    tpu: CMOSNPUConfig = TPU_CORE,
+    library_rsfq: Optional[CellLibrary] = None,
+    library_ersfq: Optional[CellLibrary] = None,
+) -> List[EnergyRow]:
+    """The Table III comparison in joules per image, for one workload."""
+    config = config or supernpu()
+    rows: List[EnergyRow] = []
+
+    tpu_run = simulate_cmos(tpu, network, batch=paper_batch(tpu.name, network.name))
+    rows.append(energy_row("TPU", tpu_run, tpu.average_power_w))
+
+    batch = paper_batch(config.name, network.name)
+    for technology, library in (
+        (Technology.RSFQ, library_rsfq or library_for(Technology.RSFQ)),
+        (Technology.ERSFQ, library_ersfq or library_for(Technology.ERSFQ)),
+    ):
+        estimate = estimate_npu(config, library)
+        run = simulate(config, network, batch=batch, estimate=estimate)
+        chip = power_report(run, estimate).total_w
+        prefix = f"{technology.value.upper()}-{config.name}"
+        rows.append(
+            energy_row(f"{prefix} (free cooling)", run, chip,
+                       cooler=cooler, free_cooling=True)
+        )
+        rows.append(
+            energy_row(f"{prefix} (w/ cooling)", run, chip, cooler=cooler)
+        )
+    return rows
+
+
+def best_by_wall_energy(rows: List[EnergyRow]) -> EnergyRow:
+    if not rows:
+        raise ValueError("no rows to compare")
+    return min(rows, key=lambda r: r.wall_joules_per_image)
+
+
+def relative_energy(rows: List[EnergyRow], reference_label: str = "TPU") -> Dict[str, float]:
+    """Wall joules per image normalized to a reference row (lower=better)."""
+    by_label = {row.label: row for row in rows}
+    if reference_label not in by_label:
+        raise KeyError(f"no row labeled {reference_label!r}")
+    reference = by_label[reference_label].wall_joules_per_image
+    return {
+        label: row.wall_joules_per_image / reference for label, row in by_label.items()
+    }

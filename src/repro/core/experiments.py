@@ -1,0 +1,317 @@
+"""One-command reproduction: run every experiment, write every artifact.
+
+``reproduce_all()`` executes the full figure/table pipeline and returns
+(or writes, one JSON per experiment) machine-readable results — the
+programmatic twin of ``pytest benchmarks/``.  Used by
+``supernpu reproduce --out results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.workloads.models import Network, all_workloads
+
+
+def _fig05(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.uarch.network import compare_designs
+
+    return {
+        str(width): compare_designs(width, bits=8, library=library)
+        for width in (4, 16, 64)
+    }
+
+
+def _fig07(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.uarch.mac import Dataflow, MACUnit
+
+    ws = MACUnit(8, 24, Dataflow.WEIGHT_STATIONARY).frequency(library).frequency_ghz
+    os = MACUnit(8, 24, Dataflow.OUTPUT_STATIONARY).frequency(library).frequency_ghz
+    return {"ws_ghz": ws, "os_ghz": os}
+
+
+def _fig08(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.workloads.analysis import duplication_report
+
+    return {
+        network.name: duplication_report(network).duplication_ratio
+        for network in workloads
+    }
+
+
+def _fig13(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.estimator.validation import validate
+
+    return {
+        name: {
+            "frequency_error": row.frequency_error,
+            "power_error": row.power_error,
+            "area_error": row.area_error,
+        }
+        for name, row in validate(library).items()
+    }
+
+
+def _fig15(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.designs import baseline
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.engine import simulate
+
+    estimate = estimate_npu(baseline(), library)
+    return {
+        network.name: simulate(baseline(), network, 1, estimate).cycle_breakdown()
+        for network in workloads
+    }
+
+
+def _fig17(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.designs import baseline
+    from repro.core.metrics import roofline_point
+    from repro.estimator.arch_level import estimate_npu
+
+    config = baseline()
+    estimate = estimate_npu(config, library)
+    return {
+        network.name: {
+            "intensity_mac_per_byte": point.intensity_mac_per_byte,
+            "attainable_gmacs": point.attainable_mac_per_s / 1e9,
+            "max_utilization": point.max_pe_utilization,
+        }
+        for network in workloads
+        for point in [
+            roofline_point(network, 1, estimate.peak_mac_per_s,
+                           config.memory_bandwidth_gbps)
+        ]
+    }
+
+
+def _fig20(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.optimizer import buffer_sweep
+
+    return [
+        {"label": point.label, **point.metrics}
+        for point in buffer_sweep(workloads=workloads, library=library)
+    ]
+
+
+def _fig21(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.optimizer import resource_sweep
+
+    return [
+        {"label": point.label, **point.metrics}
+        for point in resource_sweep(workloads=workloads, library=library)
+    ]
+
+
+def _fig22(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.optimizer import register_sweep
+
+    return {
+        str(width): [point.metrics["speedup"] for point in rows]
+        for width, rows in register_sweep(workloads=workloads, library=library).items()
+    }
+
+
+def _fig23(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.evaluate import evaluate_suite
+
+    return evaluate_suite(workloads=workloads, library=library).speedups()
+
+
+def _table1(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.designs import all_designs
+    from repro.estimator.arch_level import estimate_npu
+
+    return {
+        config.name: {
+            "frequency_ghz": estimate_npu(config, library).frequency_ghz,
+            "peak_tmacs": estimate_npu(config, library).peak_tmacs,
+            "area_mm2_28nm": estimate_npu(config, library).area_mm2_scaled(),
+        }
+        for config in all_designs()
+    }
+
+
+def _table2(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.batching import PAPER_BATCHES
+
+    return PAPER_BATCHES
+
+
+def _table3(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.evaluate import evaluate_suite, table3_rows
+
+    suite = evaluate_suite(workloads=workloads, library=library)
+    rows = table3_rows(suite)
+    reference = rows[0]
+    return {
+        row.label: {
+            "chip_power_w": row.chip_power_w,
+            "wall_power_w": row.wall_power_w,
+            "perf_per_watt_vs_tpu": row.normalized_to(reference),
+        }
+        for row in rows
+    }
+
+
+EXPERIMENTS: Dict[str, Callable[[CellLibrary, List[Network]], object]] = {
+    "fig05_network": _fig05,
+    "fig07_feedback": _fig07,
+    "fig08_duplication": _fig08,
+    "fig13_validation": _fig13,
+    "fig15_cycle_breakdown": _fig15,
+    "fig17_roofline": _fig17,
+    "fig20_buffer_opt": _fig20,
+    "fig21_resource_balancing": _fig21,
+    "fig22_registers": _fig22,
+    "fig23_performance": _fig23,
+    "table1_setup": _table1,
+    "table2_batches": _table2,
+    "table3_power": _table3,
+}
+
+
+def reproduce_all(
+    out_dir: Union[str, Path, None] = None,
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    only: Optional[List[str]] = None,
+    include_extensions: bool = False,
+) -> Dict[str, object]:
+    """Run every experiment (or the ``only`` subset); optionally write JSON.
+
+    Returns {experiment id: result object}.  When ``out_dir`` is given,
+    each experiment lands in ``<out_dir>/<id>.json``.  Extension studies
+    (the ``ext_*`` registry) join the default set when
+    ``include_extensions`` is true, and can always be named via ``only``.
+    """
+    library = library or library_for(Technology.RSFQ)
+    workloads = workloads if workloads is not None else all_workloads()
+    registry = {**EXPERIMENTS, **EXTENSIONS}
+    if only is not None:
+        selected = only
+    else:
+        selected = list(EXPERIMENTS) + (list(EXTENSIONS) if include_extensions else [])
+    unknown = set(selected) - set(registry)
+    if unknown:
+        raise KeyError(f"unknown experiments {sorted(unknown)}; known: {sorted(registry)}")
+
+    results: Dict[str, object] = {}
+    for name in selected:
+        results[name] = registry[name](library, workloads)
+
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, result in results.items():
+            (directory / f"{name}.json").write_text(
+                json.dumps(result, indent=2, sort_keys=True, default=str) + "\n",
+                encoding="utf-8",
+            )
+    return results
+
+
+def _ext_ablation(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.ablate import ablation_study
+
+    return [
+        {
+            "feature": row.feature,
+            "mean_tmacs": row.mean_mac_per_s / 1e12,
+            "relative_to_full": row.relative_to_full,
+        }
+        for row in ablation_study(workloads=workloads, library=library)
+    ]
+
+
+def _ext_scaling(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.designs import supernpu
+    from repro.core.scaling import scaling_sweep
+
+    return [
+        {
+            "feature_um": point.feature_size_um,
+            "frequency_ghz": point.frequency_ghz,
+            "peak_tmacs": point.peak_tmacs,
+            "area_mm2": point.area_mm2,
+        }
+        for point in scaling_sweep(supernpu(), library=library)
+    ]
+
+
+def _ext_bandwidth(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.sensitivity import bandwidth_sweep
+
+    return [
+        {
+            "bandwidth_gbps": point.bandwidth_gbps,
+            "sfq_tmacs": point.sfq_tmacs,
+            "tpu_tmacs": point.tpu_tmacs,
+            "speedup": point.speedup,
+        }
+        for point in bandwidth_sweep(workloads=workloads, library=library)
+    ]
+
+
+def _ext_cooling(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.sensitivity import cooling_sweep
+
+    return [
+        {
+            "factor": point.factor,
+            "rsfq": point.rsfq_perf_per_watt,
+            "ersfq": point.ersfq_perf_per_watt,
+        }
+        for point in cooling_sweep(network=workloads[0])
+    ]
+
+
+def _ext_dataflow(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.batching import batch_for
+    from repro.core.designs import supernpu
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.dataflow_ablation import estimate_os_npu, simulate_os
+    from repro.simulator.engine import simulate
+
+    config = supernpu()
+    ws_estimate = estimate_npu(config, library)
+    os_estimate = estimate_os_npu(config, library)
+    rows = {}
+    for network in workloads:
+        batch = batch_for(config, network)
+        ws = simulate(config, network, batch=batch, estimate=ws_estimate)
+        os = simulate_os(config, network, batch=batch, estimate=os_estimate)
+        rows[network.name] = {"ws_tmacs": ws.tmacs, "os_tmacs": os.tmacs}
+    return rows
+
+
+def _ext_training(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.designs import supernpu
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.training import simulate_training_step
+
+    config = supernpu()
+    estimate = estimate_npu(config, library)
+    return {
+        network.name: {
+            "step_over_forward": simulate_training_step(
+                config, network, batch=4, estimate=estimate
+            ).training_vs_inference_ratio
+        }
+        for network in workloads
+    }
+
+
+#: Studies beyond the paper's figures; run with ``include_extensions=True``
+#: or ``supernpu reproduce --extensions``.
+EXTENSIONS: Dict[str, Callable[[CellLibrary, List[Network]], object]] = {
+    "ext_feature_ablation": _ext_ablation,
+    "ext_process_scaling": _ext_scaling,
+    "ext_bandwidth_sensitivity": _ext_bandwidth,
+    "ext_cooling_sensitivity": _ext_cooling,
+    "ext_dataflow_ablation": _ext_dataflow,
+    "ext_training_step": _ext_training,
+}

@@ -1,0 +1,95 @@
+"""Golden-number regression guard.
+
+The calibration constants scattered through the model (cell timings, JJ
+pitch, activity factors) jointly produce the headline numbers; a
+well-meaning edit to any one of them can silently move Table III.  This
+module collects every headline metric into one record and checks it
+against the stored goldens with per-metric tolerances — the repository's
+own regression alarm.
+
+Regenerate the goldens deliberately with::
+
+    python -m repro.core.golden   # prints the current record as JSON
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.core.evaluate import evaluate_suite, table3_rows
+
+#: Stored goldens: metric -> (value, relative tolerance).
+GOLDEN: Dict[str, Tuple[float, float]] = {
+    "npu_frequency_ghz": (52.6, 0.005),
+    "baseline_speedup": (0.36, 0.15),
+    "buffer_opt_speedup": (12.3, 0.15),
+    "resource_opt_speedup": (19.2, 0.15),
+    "supernpu_speedup": (25.5, 0.15),
+    "rsfq_chip_power_w": (967.8, 0.05),
+    "ersfq_chip_power_w": (1.44, 0.25),
+    "ersfq_perf_per_watt_free": (491.8, 0.15),
+    "ersfq_perf_per_watt_cooled": (1.23, 0.15),
+    "rsfq_perf_per_watt_cooled": (0.0018, 0.30),
+    "supernpu_area_mm2_28nm": (298.6, 0.05),
+    "baseline_area_mm2_28nm": (297.3, 0.05),
+}
+
+
+def current_record() -> Dict[str, float]:
+    """Measure every golden metric from scratch (runs the full pipeline)."""
+    suite = evaluate_suite()
+    speedups = suite.speedups()
+    rows = {row.label: row for row in table3_rows(suite)}
+    reference = rows["TPU"]
+    supernpu_estimate = suite.design("SuperNPU").estimate
+    baseline_estimate = suite.design("Baseline").estimate
+    return {
+        "npu_frequency_ghz": supernpu_estimate.frequency_ghz,
+        "baseline_speedup": speedups["Baseline"]["Average"],
+        "buffer_opt_speedup": speedups["Buffer opt."]["Average"],
+        "resource_opt_speedup": speedups["Resource opt."]["Average"],
+        "supernpu_speedup": speedups["SuperNPU"]["Average"],
+        "rsfq_chip_power_w": rows["RSFQ-SuperNPU (w/ cooling)"].chip_power_w,
+        "ersfq_chip_power_w": rows["ERSFQ-SuperNPU (w/ cooling)"].chip_power_w,
+        "ersfq_perf_per_watt_free": rows["ERSFQ-SuperNPU (w/o cooling)"].normalized_to(reference),
+        "ersfq_perf_per_watt_cooled": rows["ERSFQ-SuperNPU (w/ cooling)"].normalized_to(reference),
+        "rsfq_perf_per_watt_cooled": rows["RSFQ-SuperNPU (w/ cooling)"].normalized_to(reference),
+        "supernpu_area_mm2_28nm": supernpu_estimate.area_mm2_scaled(),
+        "baseline_area_mm2_28nm": baseline_estimate.area_mm2_scaled(),
+    }
+
+
+def check(record: Dict[str, float] | None = None) -> List[str]:
+    """Return a list of violations (empty = all goldens hold)."""
+    record = record if record is not None else current_record()
+    violations: List[str] = []
+    for metric, (golden_value, tolerance) in GOLDEN.items():
+        if metric not in record:
+            violations.append(f"{metric}: missing from record")
+            continue
+        measured = record[metric]
+        error = abs(measured - golden_value) / abs(golden_value)
+        if error > tolerance:
+            violations.append(
+                f"{metric}: measured {measured:.4g} vs golden {golden_value:.4g} "
+                f"({100 * error:.1f}% > {100 * tolerance:.0f}% tolerance)"
+            )
+    return violations
+
+
+def main() -> int:
+    record = current_record()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    violations = check(record)
+    if violations:
+        print("\nGOLDEN VIOLATIONS:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("\nall goldens hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

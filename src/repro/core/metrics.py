@@ -1,0 +1,86 @@
+"""Derived metrics: roofline analysis (Fig. 17) and perf/W (Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cooling.cryocooler import Cryocooler, PAPER_COOLER
+from repro.simulator.results import SimulationResult
+from repro.workloads.analysis import intensity_report
+from repro.workloads.models import Network
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position on the roofline plot (Fig. 17)."""
+
+    network: str
+    batch: int
+    intensity_mac_per_byte: float
+    attainable_mac_per_s: float
+    peak_mac_per_s: float
+    measured_mac_per_s: Optional[float] = None
+
+    @property
+    def max_pe_utilization(self) -> float:
+        """Roofline / peak: the paper's "maximum PE utilization" (<2%
+        on average for the single-batch Baseline)."""
+        return self.attainable_mac_per_s / self.peak_mac_per_s
+
+
+def roofline_point(
+    network: Network,
+    batch: int,
+    peak_mac_per_s: float,
+    bandwidth_gbps: float,
+    measured: Optional[SimulationResult] = None,
+) -> RooflinePoint:
+    """Place one workload on the roofline for a given NPU peak/bandwidth."""
+    report = intensity_report(network, batch)
+    attainable = report.roofline_mac_per_s(peak_mac_per_s, bandwidth_gbps * 1e9)
+    return RooflinePoint(
+        network=network.name,
+        batch=batch,
+        intensity_mac_per_byte=report.macs_per_weight_byte,
+        attainable_mac_per_s=attainable,
+        peak_mac_per_s=peak_mac_per_s,
+        measured_mac_per_s=None if measured is None else measured.mac_per_s,
+    )
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One row of the Table III power-efficiency comparison."""
+
+    label: str
+    chip_power_w: float
+    wall_power_w: float
+    mac_per_s: float
+
+    @property
+    def mac_per_joule(self) -> float:
+        if self.wall_power_w <= 0:
+            raise ValueError("wall power must be positive")
+        return self.mac_per_s / self.wall_power_w
+
+    def normalized_to(self, reference: "EfficiencyRow") -> float:
+        """Performance/W relative to ``reference`` (the TPU row)."""
+        return self.mac_per_joule / reference.mac_per_joule
+
+
+def efficiency_row(
+    label: str,
+    chip_power_w: float,
+    mac_per_s: float,
+    cooler: Optional[Cryocooler] = PAPER_COOLER,
+    free_cooling: bool = False,
+) -> EfficiencyRow:
+    """Build a Table III row; pass ``cooler=None`` for room-temperature
+    devices (the TPU) and ``free_cooling=True`` for the amortized-fridge
+    scenario."""
+    if cooler is None:
+        wall = chip_power_w
+    else:
+        wall = cooler.wall_power_w(chip_power_w, free_cooling=free_cooling)
+    return EfficiencyRow(label, chip_power_w, wall, mac_per_s)

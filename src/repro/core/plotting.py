@@ -1,0 +1,69 @@
+"""ASCII chart rendering for sweep results.
+
+The repository runs in terminal-only environments (no matplotlib is
+installed offline), so the sweep figures render as text: a fixed-height
+column chart for series data and a labeled horizontal bar chart for
+categorical comparisons.  Used by ``supernpu sweep --plot``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Glyph used for chart marks.
+MARK = "█"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one row per label, scaled to the maximum value."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if width < 4:
+        raise ValueError("chart width must be at least 4 columns")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar charts need at least one positive value")
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = MARK * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(f"{label:>{label_width}s} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def column_chart(
+    series: Sequence[float],
+    labels: Sequence[str] | None = None,
+    height: int = 10,
+) -> str:
+    """A fixed-height column chart of one series (zero-based scale)."""
+    if not series:
+        raise ValueError("nothing to plot")
+    if height < 2:
+        raise ValueError("chart height must be at least 2 rows")
+    if labels is not None and len(labels) != len(series):
+        raise ValueError("labels must match the series length")
+    peak = max(series)
+    if peak <= 0:
+        raise ValueError("column charts need at least one positive value")
+    levels = [round(height * value / peak) for value in series]
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        marks = "".join(f" {MARK} " if level >= row else "   " for level in levels)
+        axis = f"{peak * row / height:8.1f} |"
+        rows.append(axis + marks)
+    rows.append(" " * 9 + "+" + "---" * len(series))
+    if labels is not None:
+        short = [label[-3:].rjust(3) for label in labels]
+        rows.append(" " * 10 + "".join(short))
+    return "\n".join(rows)
+
+
+def sweep_chart(points, metric: str, width: int = 48) -> str:
+    """Render a list of optimizer SweepPoints' metric as labeled bars."""
+    values = {point.label: point.metrics[metric] for point in points}
+    return bar_chart(values, width=width, unit="x")

@@ -1,0 +1,102 @@
+"""Structured result export: JSON / CSV records of simulation runs.
+
+Turns estimator and simulator outputs into plain dictionaries (and JSON or
+CSV text) so downstream tooling — plotting scripts, regression dashboards,
+spreadsheets — can consume the reproduction's numbers without importing
+the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.estimator.arch_level import NPUEstimate
+from repro.simulator.power import PowerReport
+from repro.simulator.results import SimulationResult
+
+
+def estimate_record(estimate: NPUEstimate) -> Dict[str, object]:
+    """Flatten an architecture estimate into a JSON-ready dict."""
+    return {
+        "design": estimate.config.name,
+        "technology": estimate.technology,
+        "frequency_ghz": estimate.frequency_ghz,
+        "cycle_time_ps": estimate.cycle_time_ps,
+        "critical_path": estimate.critical_path,
+        "peak_tmacs": estimate.peak_tmacs,
+        "static_power_w": estimate.static_power_w,
+        "area_mm2_native": estimate.area_mm2,
+        "area_mm2_28nm": estimate.area_mm2_scaled(),
+        "units": {
+            name: {
+                "jj_count": unit.jj_count,
+                "static_power_w": unit.static_power_w,
+                "area_mm2": unit.area_mm2,
+                "frequency_ghz": unit.frequency_ghz,
+            }
+            for name, unit in estimate.units.items()
+        },
+    }
+
+
+def simulation_record(run: SimulationResult, power: PowerReport | None = None) -> Dict[str, object]:
+    """Flatten a simulation result (and optional power report)."""
+    breakdown = run.cycle_breakdown()
+    record: Dict[str, object] = {
+        "design": run.design,
+        "network": run.network,
+        "batch": run.batch,
+        "frequency_ghz": run.frequency_ghz,
+        "total_cycles": run.total_cycles,
+        "latency_us": run.latency_s * 1e6,
+        "tmacs": run.tmacs,
+        "images_per_s": run.images_per_s,
+        "preparation_share": breakdown["preparation"],
+        "computation_share": breakdown["computation"],
+        "memory_share": breakdown["memory"],
+    }
+    if power is not None:
+        record["static_power_w"] = power.static_w
+        record["dynamic_power_w"] = power.dynamic_w
+        record["total_power_w"] = power.total_w
+    return record
+
+
+def layer_records(run: SimulationResult) -> List[Dict[str, object]]:
+    """One record per layer: the per-layer cycle accounting."""
+    return [
+        {
+            "design": run.design,
+            "network": run.network,
+            "layer": layer.name,
+            "mappings": layer.mappings,
+            "weight_load_cycles": layer.weight_load_cycles,
+            "ifmap_prep_cycles": layer.ifmap_prep_cycles,
+            "psum_move_cycles": layer.psum_move_cycles,
+            "activation_transfer_cycles": layer.activation_transfer_cycles,
+            "compute_cycles": layer.compute_cycles,
+            "dram_traffic_bytes": layer.dram_traffic_bytes,
+            "total_cycles": layer.total_cycles,
+            "macs": layer.macs,
+        }
+        for layer in run.layers
+    ]
+
+
+def to_json(records: object, indent: int = 2) -> str:
+    return json.dumps(records, indent=indent, sort_keys=True)
+
+
+def to_csv(records: List[Dict[str, object]]) -> str:
+    """Render homogeneous records as CSV text (column order preserved)."""
+    if not records:
+        raise ValueError("no records to render")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return buffer.getvalue()

@@ -1,0 +1,75 @@
+"""Process-scaling projections (paper footnote 2, Section V-A1).
+
+The paper evaluates on the conservative AIST 1.0 um process and notes the
+headroom: JJ frequency scales linearly with feature-size reduction down to
+~0.2 um (Kadin et al.; a TFF has run at 770 GHz), and area scales
+quadratically.  This module projects any design point to a finer node so
+that headroom can be quantified — the "what if SFQ got a modern fab"
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.device.cells import CellLibrary, rsfq_library
+from repro.device.process import AIST_10UM, FabricationProcess
+from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.uarch.config import NPUConfig
+
+
+@dataclass(frozen=True)
+class ScaledProjection:
+    """One design point projected to a finer fabrication node."""
+
+    feature_size_um: float
+    frequency_ghz: float
+    peak_tmacs: float
+    area_mm2: float
+    static_power_w: float
+
+    @property
+    def frequency_gain(self) -> float:
+        return self.feature_size_um  # informative only; see project()
+
+
+def project(
+    config: NPUConfig,
+    target_feature_um: float,
+    library: Optional[CellLibrary] = None,
+    process: FabricationProcess = AIST_10UM,
+) -> ScaledProjection:
+    """Project ``config`` to ``target_feature_um``.
+
+    Scaling rules (paper footnote 2):
+
+    * frequency multiplies by the feature-size reduction, clamped at the
+      0.2 um validation limit of the linear rule;
+    * area scales quadratically with feature size;
+    * static power is held constant per junction (bias currents do not
+      shrink with lithography in the simple model) — a conservative choice
+      that keeps the RSFQ-power conclusion intact at every node.
+    """
+    library = library or rsfq_library()
+    base: NPUEstimate = estimate_npu(config, library)
+    freq_gain = process.frequency_scale_factor(target_feature_um)
+    area_gain = process.area_scale_factor(target_feature_um)
+    frequency = base.frequency_ghz * freq_gain
+    return ScaledProjection(
+        feature_size_um=target_feature_um,
+        frequency_ghz=frequency,
+        peak_tmacs=config.peak_mac_per_s(frequency) / 1e12,
+        area_mm2=base.area_mm2 * area_gain,
+        static_power_w=base.static_power_w,
+    )
+
+
+def scaling_sweep(
+    config: NPUConfig,
+    features_um: "tuple[float, ...]" = (1.0, 0.5, 0.25, 0.2, 0.1, 0.028),
+    library: Optional[CellLibrary] = None,
+) -> List[ScaledProjection]:
+    """Project a design across a ladder of nodes down to 28 nm CMOS parity."""
+    library = library or rsfq_library()
+    return [project(config, feature, library) for feature in features_um]

@@ -1,0 +1,132 @@
+"""Sensitivity studies around the paper's fixed assumptions.
+
+The evaluation pins two environment parameters: 300 GB/s of DRAM bandwidth
+(TPUv2's HBM) and a 400x cryocooler.  These sweeps quantify how the
+headline conclusions move when those assumptions do:
+
+* :func:`bandwidth_sweep` — SuperNPU-vs-TPU speedup as the shared memory
+  bandwidth scales (the SFQ design is the bandwidth-hungry one: at
+  52.6 GHz, 300 GB/s is only ~5.7 B/cycle).
+* :func:`cooling_sweep` — ERSFQ/RSFQ perf-per-watt vs cooling efficiency,
+  from the Carnot bound to pessimistic plants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE, simulate_cmos
+from repro.cooling.cryocooler import Cryocooler, carnot_cooling_factor
+from repro.core.batching import paper_batch
+from repro.core.designs import supernpu
+from repro.core.metrics import efficiency_row
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network, all_workloads
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    bandwidth_gbps: float
+    sfq_tmacs: float
+    tpu_tmacs: float
+
+    @property
+    def speedup(self) -> float:
+        return self.sfq_tmacs / self.tpu_tmacs
+
+
+def bandwidth_sweep(
+    bandwidths_gbps: "tuple[float, ...]" = (100, 300, 600, 1200, 2400),
+    config: Optional[NPUConfig] = None,
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+) -> List[BandwidthPoint]:
+    """Mean throughput of SuperNPU and the TPU at each shared bandwidth."""
+    config = config or supernpu()
+    workloads = workloads if workloads is not None else all_workloads()
+    library = library or library_for(Technology.RSFQ)
+    points = []
+    for bandwidth in bandwidths_gbps:
+        sfq_config = config.with_updates(memory_bandwidth_gbps=float(bandwidth))
+        estimate = estimate_npu(sfq_config, library)
+        tpu_config = CMOSNPUConfig(
+            memory_bandwidth_gbps=float(bandwidth),
+            onchip_buffer_bytes=TPU_CORE.onchip_buffer_bytes,
+        )
+        sfq_total = 0.0
+        tpu_total = 0.0
+        for network in workloads:
+            sfq = simulate(
+                sfq_config, network,
+                batch=paper_batch(config.name, network.name), estimate=estimate,
+            )
+            tpu = simulate_cmos(
+                tpu_config, network, batch=paper_batch("TPU", network.name)
+            )
+            sfq_total += sfq.mac_per_s
+            tpu_total += tpu.mac_per_s
+        points.append(
+            BandwidthPoint(
+                bandwidth_gbps=float(bandwidth),
+                sfq_tmacs=sfq_total / len(workloads) / 1e12,
+                tpu_tmacs=tpu_total / len(workloads) / 1e12,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class CoolingPoint:
+    factor: float
+    rsfq_perf_per_watt: float
+    ersfq_perf_per_watt: float
+
+
+def cooling_sweep(
+    factors: "tuple[float, ...]" = (100, 200, 400, 1000),
+    include_carnot: bool = True,
+    network: Optional[Network] = None,
+    config: Optional[NPUConfig] = None,
+) -> List[CoolingPoint]:
+    """Normalized perf/W (vs TPU) of both technologies per cooling factor."""
+    config = config or supernpu()
+    if network is None:
+        from repro.workloads.models import resnet50
+
+        network = resnet50()
+    tpu = simulate_cmos(TPU_CORE, network, batch=paper_batch("TPU", network.name))
+    tpu_row = efficiency_row("TPU", TPU_CORE.average_power_w, tpu.mac_per_s, cooler=None)
+
+    chips = {}
+    for technology in (Technology.RSFQ, Technology.ERSFQ):
+        library = library_for(technology)
+        estimate = estimate_npu(config, library)
+        run = simulate(
+            config, network,
+            batch=paper_batch(config.name, network.name), estimate=estimate,
+        )
+        chips[technology] = (power_report(run, estimate).total_w, run.mac_per_s)
+
+    sweep = list(factors)
+    if include_carnot:
+        sweep.insert(0, carnot_cooling_factor())
+    points = []
+    for factor in sweep:
+        cooler = Cryocooler(factor=factor)
+        values = {}
+        for technology, (chip_w, perf) in chips.items():
+            row = efficiency_row(technology.value, chip_w, perf, cooler=cooler)
+            values[technology] = row.normalized_to(tpu_row)
+        points.append(
+            CoolingPoint(
+                factor=float(factor),
+                rsfq_perf_per_watt=values[Technology.RSFQ],
+                ersfq_perf_per_watt=values[Technology.ERSFQ],
+            )
+        )
+    return points

@@ -1,0 +1,56 @@
+"""Physical constants for superconducting single-flux-quantum (SFQ) logic.
+
+The unit system used throughout :mod:`repro` is chosen so that circuit-level
+quantities have convenient magnitudes:
+
+* time        — picoseconds (ps)
+* voltage     — millivolts (mV)
+* current     — microamperes (uA)
+* inductance  — picohenries (pH)
+* resistance  — ohms (mV / uA = kOhm? no: mV/uA = kOhm/1000 = Ohm)  -> ohms
+* energy      — attojoules (aJ) at the gate level, joules at chip level
+* power       — microwatts (uW) at the gate level, watts at chip level
+
+With these units the magnetic flux quantum is ``PHI0_MV_PS`` mV*ps, and
+``mV * uA = nW`` while ``mV * uA * ps = 1e-21 J = zJ``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Magnetic flux quantum h/2e in webers (V*s).
+PHI0_WB = 2.067833848e-15
+
+#: Magnetic flux quantum expressed in mV*ps (the simulator unit system).
+#: 2.0678e-15 V*s = 2.0678e-15 * 1e3 mV * 1e12 ps.
+PHI0_MV_PS = PHI0_WB * 1e3 * 1e12
+
+#: Reduced flux quantum Phi0 / (2*pi) in mV*ps.
+PHI0_BAR_MV_PS = PHI0_MV_PS / (2.0 * math.pi)
+
+#: Boltzmann constant in J/K.
+KB_J_PER_K = 1.380649e-23
+
+#: Typical liquid-helium operating temperature for SFQ logic (kelvin).
+OPERATING_TEMPERATURE_K = 4.2
+
+#: Energy of a single JJ switching event: Ic * Phi0, for Ic in uA the
+#: result of ``ic_ua * JJ_SWITCH_ENERGY_AJ_PER_UA`` is in attojoules.
+#: Ic[uA] * Phi0[Wb] = Ic*1e-6 A * 2.0678e-15 V*s = Ic * 2.0678e-21 J.
+JJ_SWITCH_ENERGY_AJ_PER_UA = PHI0_WB * 1e-6 * 1e18
+
+
+def jj_switch_energy_aj(critical_current_ua: float) -> float:
+    """Energy dissipated by one JJ 2*pi phase slip, in attojoules.
+
+    The canonical SFQ switching energy is ``Ic * Phi0`` (Likharev & Semenov,
+    1991).  For a 70 uA junction this is ~0.145 aJ, which is why multi-JJ
+    logic gates land in the 1-2 aJ/operation range quoted by the paper.
+    """
+    return critical_current_ua * JJ_SWITCH_ENERGY_AJ_PER_UA
+
+
+def thermal_energy_aj(temperature_k: float = OPERATING_TEMPERATURE_K) -> float:
+    """Thermal energy k_B * T in attojoules (sanity floor for bit energies)."""
+    return KB_J_PER_K * temperature_k * 1e18

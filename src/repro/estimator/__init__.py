@@ -1,0 +1,57 @@
+"""SFQ-NPU estimator: gate-, microarchitecture- and architecture-level."""
+
+from repro.estimator.gate_level import GateEstimate, gate_table
+from repro.estimator.uarch_level import UnitEstimate, estimate_unit
+from repro.estimator.floorplan import (
+    Floorplan,
+    PlacedBlock,
+    floorplan,
+    implied_frequency_ghz,
+)
+from repro.estimator.variation import (
+    VariationReport,
+    monte_carlo_frequency,
+    perturbed_library,
+)
+from repro.estimator.validation import (
+    REFERENCES,
+    ReferenceMeasurement,
+    ValidationRow,
+    all_within_envelope,
+    validate,
+)
+from repro.estimator.arch_level import (
+    INTERFACE_DISTANCE_MM,
+    PTL_DELAY_PS_PER_MM,
+    NPUEstimate,
+    ReplicatedUnit,
+    build_units,
+    estimate_npu,
+    interface_gate_pairs,
+)
+
+__all__ = [
+    "GateEstimate",
+    "gate_table",
+    "Floorplan",
+    "PlacedBlock",
+    "floorplan",
+    "implied_frequency_ghz",
+    "VariationReport",
+    "monte_carlo_frequency",
+    "perturbed_library",
+    "REFERENCES",
+    "ReferenceMeasurement",
+    "ValidationRow",
+    "all_within_envelope",
+    "validate",
+    "UnitEstimate",
+    "estimate_unit",
+    "INTERFACE_DISTANCE_MM",
+    "PTL_DELAY_PS_PER_MM",
+    "NPUEstimate",
+    "ReplicatedUnit",
+    "build_units",
+    "estimate_npu",
+    "interface_gate_pairs",
+]

@@ -1,0 +1,218 @@
+"""Architecture-level estimation layer (paper Section IV-A3).
+
+Integrates the microarchitecture-level unit estimates into a whole-NPU
+report: clock frequency (including inter-unit interface pairs), static
+power, access energies, and area (including inter-unit wiring), for a given
+:class:`~repro.uarch.config.NPUConfig` and cell library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.device import cells
+from repro.device.cells import CellLibrary
+from repro.device.process import CMOS_28NM_UM
+from repro.timing.clocking import ClockingScheme
+from repro.timing.frequency import GatePair
+from repro.uarch.activation import MaxPoolUnit, ReLUUnit
+from repro.uarch.buffers import IntegratedOutputBuffer, ShiftRegisterBuffer
+from repro.uarch.config import NPUConfig
+from repro.uarch.dau import DataAlignmentUnit
+from repro.uarch.network import JTL_SPAN_MM, SystolicChain
+from repro.uarch.pe import ProcessingElement
+from repro.uarch.unit import GateCounts, Unit
+from repro.estimator.uarch_level import UnitEstimate, estimate_unit
+
+#: Center-to-center distance between interfacing units on the floorplan
+#: (mm).  Calibrated so the inter-unit pair yields the 52.6 GHz NPU clock
+#: of Table I: 6.0 ps setup + 1.3 mm * 10.01 ps/mm = 19.01 ps cycle time.
+INTERFACE_DISTANCE_MM = 1.3
+
+#: Passive-transmission-line propagation delay (ps per mm).
+PTL_DELAY_PS_PER_MM = 10.01
+
+
+class ReplicatedUnit(Unit):
+    """``count`` copies of a unit treated as one aggregate (e.g. PE array)."""
+
+    def __init__(self, prototype: Unit, count: int, kind: str | None = None) -> None:
+        if count < 1:
+            raise ValueError("replication count must be positive")
+        self.prototype = prototype
+        self.count = count
+        self.kind = kind or f"{prototype.kind}[x{count}]"
+
+    def gate_counts(self) -> GateCounts:
+        return self.prototype.gate_counts().scaled(self.count)
+
+    def gate_pairs(self) -> List[GatePair]:
+        return self.prototype.gate_pairs()
+
+
+def build_units(config: NPUConfig) -> Dict[str, Unit]:
+    """Instantiate every microarchitectural unit of ``config`` (Fig. 3/19)."""
+    pe = ProcessingElement(
+        bits=config.data_bits,
+        psum_bits=config.psum_bits,
+        registers=config.registers_per_pe,
+    )
+    units: Dict[str, Unit] = {
+        "pe_array": ReplicatedUnit(pe, config.num_pes, kind="pe-array"),
+        "network": SystolicChain(
+            config.pe_array_width + config.pe_array_height, config.data_bits
+        ),
+        "dau": DataAlignmentUnit(
+            rows=config.pe_array_height,
+            bits=config.data_bits,
+            pe_pipeline_stages=pe.pipeline_stages,
+        ),
+        "ifmap_buffer": ShiftRegisterBuffer(
+            config.ifmap_buffer_bytes,
+            io_width=config.pe_array_height,
+            entry_bits=config.data_bits,
+            division=config.ifmap_division,
+        ),
+        "weight_buffer": ShiftRegisterBuffer(
+            config.weight_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+        ),
+        "relu": ReLUUnit(lanes=config.pe_array_width, bits=config.psum_bits),
+        "maxpool": MaxPoolUnit(lanes=config.pe_array_width, bits=config.data_bits),
+    }
+    if config.integrated_output_buffer:
+        units["output_buffer"] = IntegratedOutputBuffer(
+            config.output_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+            division=config.output_division,
+        )
+    else:
+        units["output_buffer"] = ShiftRegisterBuffer(
+            config.output_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+            division=config.output_division,
+        )
+        units["psum_buffer"] = ShiftRegisterBuffer(
+            config.psum_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+            division=config.output_division,
+        )
+    return units
+
+
+def interface_gate_pairs(interface_distance_mm: float = INTERFACE_DISTANCE_MM) -> List[GatePair]:
+    """Inter-unit connections that participate in the chip clock.
+
+    The interfacing gates of two units cannot be skew-matched across the
+    unit boundary, so the PTL flight time appears as residual delta_t
+    (Section IV-A3: "we calculate all the inter-unit communication latency
+    based on the interfacing gates' timing parameters").
+    """
+    residual = interface_distance_mm * PTL_DELAY_PS_PER_MM
+    return [
+        GatePair(
+            cells.DFF,
+            cells.AND,
+            scheme=ClockingScheme.CONCURRENT_FLOW,
+            skew_residual_ps=residual,
+            label="inter-unit interface (buffer->PE array)",
+        )
+    ]
+
+
+def _interface_wiring_counts(config: NPUConfig, interface_distance_mm: float) -> GateCounts:
+    """JTL wire cells connecting the units across the floorplan."""
+    lanes = 2 * config.pe_array_height + 2 * config.pe_array_width
+    jtls_per_lane = math.ceil(interface_distance_mm / JTL_SPAN_MM)
+    return GateCounts({cells.JTL: lanes * config.data_bits * jtls_per_lane})
+
+
+@dataclass
+class NPUEstimate:
+    """Architecture-level estimation result for one NPU design point."""
+
+    config: NPUConfig
+    technology: str
+    frequency_ghz: float
+    cycle_time_ps: float
+    critical_path: str
+    units: Dict[str, UnitEstimate] = field(default_factory=dict)
+    wiring_area_mm2: float = 0.0
+    wiring_static_power_w: float = 0.0
+
+    @property
+    def static_power_w(self) -> float:
+        return sum(u.static_power_w for u in self.units.values()) + self.wiring_static_power_w
+
+    @property
+    def area_mm2(self) -> float:
+        """Native layout area on the library process (mm^2)."""
+        return sum(u.area_mm2 for u in self.units.values()) + self.wiring_area_mm2
+
+    @property
+    def jj_count(self) -> float:
+        return sum(u.jj_count for u in self.units.values())
+
+    @property
+    def peak_mac_per_s(self) -> float:
+        return self.config.peak_mac_per_s(self.frequency_ghz)
+
+    @property
+    def peak_tmacs(self) -> float:
+        return self.peak_mac_per_s / 1e12
+
+    def area_mm2_scaled(self, target_feature_um: float = CMOS_28NM_UM, process=None) -> float:
+        """Area re-scaled to another feature size (Table I's "(28nm)" row)."""
+        from repro.device.process import AIST_10UM
+
+        proc = process or AIST_10UM
+        return self.area_mm2 * proc.area_scale_factor(target_feature_um)
+
+    def unit_access_energy_j(self, name: str) -> float:
+        return self.units[name].access_energy_j
+
+
+def estimate_npu(
+    config: NPUConfig,
+    library: CellLibrary,
+    interface_distance_mm: float = INTERFACE_DISTANCE_MM,
+) -> NPUEstimate:
+    """Run the full three-layer estimation for one NPU design point."""
+    units = build_units(config)
+    estimates = {name: estimate_unit(unit, library, name) for name, unit in units.items()}
+
+    # Chip clock: slowest of all intra-unit pairs and the inter-unit pairs.
+    worst_cct = 0.0
+    critical = ""
+    for name, unit in units.items():
+        try:
+            report = unit.frequency(library)
+        except ValueError:
+            continue
+        if report.cycle_time_ps > worst_cct:
+            worst_cct = report.cycle_time_ps
+            pair = report.critical_pair
+            critical = f"{name}: {pair.label or f'{pair.src}->{pair.dst}'}"
+    for pair in interface_gate_pairs(interface_distance_mm):
+        constraint = pair.resolve(library)
+        if constraint.cycle_time_ps > worst_cct:
+            worst_cct = constraint.cycle_time_ps
+            critical = pair.label
+
+    wiring = _interface_wiring_counts(config, interface_distance_mm)
+    return NPUEstimate(
+        config=config,
+        technology=library.technology.value,
+        frequency_ghz=1e3 / worst_cct,
+        cycle_time_ps=worst_cct,
+        critical_path=critical,
+        units=estimates,
+        wiring_area_mm2=library.total_area_um2(wiring.as_dict()) * 1e-6,
+        wiring_static_power_w=library.static_power_w(wiring.as_dict()),
+    )

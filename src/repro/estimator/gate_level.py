@@ -1,0 +1,48 @@
+"""Gate-level estimation layer (paper Section IV-A1).
+
+The gate layer exposes, per library cell, the timing parameters (delay,
+SetupTime, HoldTime), power figures (static power, access energy) and area
+that the upper layers consume.  In the paper these come from JSIM runs over
+the AIST 1.0 um cell library; here they come from the calibrated
+:mod:`repro.device.cells` tables, and :mod:`repro.jsim` can re-derive wire
+delays from first principles for cross-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.device.cells import CellLibrary, SFQCell
+
+
+@dataclass(frozen=True)
+class GateEstimate:
+    """All gate-level outputs for one cell (one row of the Fig. 10 table)."""
+
+    name: str
+    jj_count: int
+    delay_ps: float
+    setup_ps: float
+    hold_ps: float
+    static_power_uw: float
+    switch_energy_aj: float
+    area_um2: float
+
+    @classmethod
+    def from_cell(cls, cell: SFQCell, library: CellLibrary) -> "GateEstimate":
+        return cls(
+            name=cell.name,
+            jj_count=cell.jj_count,
+            delay_ps=cell.delay_ps,
+            setup_ps=cell.setup_ps,
+            hold_ps=cell.hold_ps,
+            static_power_uw=cell.static_power_uw,
+            switch_energy_aj=cell.switch_energy_aj,
+            area_um2=cell.area_um2(library.process),
+        )
+
+
+def gate_table(library: CellLibrary) -> Dict[str, GateEstimate]:
+    """The full gate-parameter table for ``library`` (Fig. 10 "Gate level")."""
+    return {name: GateEstimate.from_cell(library[name], library) for name in library.names}

@@ -1,0 +1,71 @@
+"""Microarchitecture-level estimation layer (paper Section IV-A2).
+
+Takes a :class:`~repro.uarch.unit.Unit`'s gate-count histogram and intra-unit
+gate pairs and produces the unit's frequency, static power, access energy
+and area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.device.cells import CellLibrary
+from repro.timing.frequency import FrequencyReport
+from repro.uarch.unit import Unit
+
+
+@dataclass(frozen=True)
+class UnitEstimate:
+    """Frequency / power / area summary of one microarchitectural unit."""
+
+    name: str
+    kind: str
+    gate_count: float
+    jj_count: float
+    frequency_ghz: Optional[float]
+    cycle_time_ps: Optional[float]
+    critical_pair: str
+    static_power_w: float
+    access_energy_j: float
+    access_energy_clocked_j: float
+    access_energy_wire_j: float
+    area_mm2: float
+
+    @property
+    def has_frequency(self) -> bool:
+        return self.frequency_ghz is not None
+
+
+def estimate_unit(unit: Unit, library: CellLibrary, name: str | None = None) -> UnitEstimate:
+    """Run the microarchitecture-level estimation for one unit.
+
+    Units made purely of unclocked wire cells (e.g. a DFF-less network
+    fragment) report no frequency, mirroring the paper's note that the NW
+    unit alone has no frequency result (Section IV-A4).
+    """
+    counts = unit.full_gate_counts()
+    frequency: Optional[FrequencyReport]
+    try:
+        frequency = unit.frequency(library)
+    except ValueError:
+        frequency = None
+    critical = ""
+    if frequency is not None and frequency.critical_pair is not None:
+        pair = frequency.critical_pair
+        critical = pair.label or f"{pair.src}->{pair.dst}"
+    clocked_j, wire_j = library.access_energy_split_j(counts.as_dict())
+    return UnitEstimate(
+        name=name or unit.kind,
+        kind=unit.kind,
+        gate_count=counts.total(),
+        jj_count=library.total_jj_count(counts.as_dict()),
+        frequency_ghz=None if frequency is None else frequency.frequency_ghz,
+        cycle_time_ps=None if frequency is None else frequency.cycle_time_ps,
+        critical_pair=critical,
+        static_power_w=library.static_power_w(counts.as_dict()),
+        access_energy_j=library.access_energy_j(counts.as_dict()),
+        access_energy_clocked_j=clocked_j,
+        access_energy_wire_j=wire_j,
+        area_mm2=library.total_area_um2(counts.as_dict()) * 1e-6,
+    )

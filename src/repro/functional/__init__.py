@@ -1,0 +1,59 @@
+"""Bit-true functional models: reference convolution, DAU, systolic array."""
+
+from repro.functional.reference import conv2d_reference, depthwise_reference
+from repro.functional.dau import (
+    aligned_streams,
+    delay_schedule,
+    reduction_index_to_weight,
+    row_stream,
+)
+from repro.functional.systolic import SystolicArray, conv2d_systolic
+from repro.functional.quantize import (
+    QuantParams,
+    calibrate,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+from repro.functional.inference import (
+    FunctionalNPU,
+    QuantConvLayer,
+    QuantFCLayer,
+    TinyQuantCNN,
+    max_pool2d,
+    top1_agreement,
+)
+from repro.functional.multikernel import MultiKernelArray, conv2d_multikernel
+from repro.functional.os_systolic import OSSystolicArray, conv2d_os
+from repro.functional.shift_buffer import (
+    FunctionalChunkedBuffer,
+    FunctionalShiftRegister,
+)
+
+__all__ = [
+    "conv2d_reference",
+    "depthwise_reference",
+    "aligned_streams",
+    "delay_schedule",
+    "reduction_index_to_weight",
+    "row_stream",
+    "SystolicArray",
+    "conv2d_systolic",
+    "QuantParams",
+    "calibrate",
+    "dequantize",
+    "quantization_error",
+    "quantize",
+    "FunctionalNPU",
+    "QuantConvLayer",
+    "QuantFCLayer",
+    "TinyQuantCNN",
+    "max_pool2d",
+    "top1_agreement",
+    "MultiKernelArray",
+    "conv2d_multikernel",
+    "OSSystolicArray",
+    "conv2d_os",
+    "FunctionalChunkedBuffer",
+    "FunctionalShiftRegister",
+]

@@ -1,0 +1,90 @@
+"""Functional model of the data alignment unit (paper Fig. 9).
+
+The DAU turns the *unique-pixel* contents of the ifmap buffer into the
+per-PE-row input streams the weight-stationary array needs:
+
+1. **Data selection** — for the PE row holding weight element
+   ``(c, r, s)``, pick, for every output position ``(e, f)``, the pixel
+   ``ifmap[c, e*stride + r - pad, f*stride + s - pad]`` — or a zero bubble
+   where the window falls into the padding.
+2. **Timing adjustment** — delay row ``d``'s stream so it meets the partial
+   sums descending through the array (handled by the emulator's skew; the
+   helper below exposes the delay schedule for inspection).
+
+This is executed functionally (numpy gather), which is exactly what the
+hardware's selector + controller + bypassable-DFF cascade implements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def reduction_index_to_weight(
+    index: int, channels: int, kernel_h: int, kernel_w: int
+) -> Tuple[int, int, int]:
+    """Map a PE-row (reduction) index to its (channel, r, s) weight coords."""
+    if not 0 <= index < channels * kernel_h * kernel_w:
+        raise ValueError("reduction index out of range")
+    channel, rest = divmod(index, kernel_h * kernel_w)
+    r, s = divmod(rest, kernel_w)
+    return channel, r, s
+
+
+def row_stream(
+    ifmap: np.ndarray,
+    reduction_index: int,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """The ifmap stream one PE row consumes, one value per output position.
+
+    Zero entries are the Fig. 9 "bubbles" inserted where the convolution
+    window overlaps the zero padding.
+    """
+    channels, height, width = ifmap.shape
+    channel, r, s = reduction_index_to_weight(reduction_index, channels, kernel_h, kernel_w)
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    stream = np.zeros(out_h * out_w, dtype=ifmap.dtype)
+    position = 0
+    for e in range(out_h):
+        y = e * stride + r - padding
+        for f in range(out_w):
+            x = f * stride + s - padding
+            if 0 <= y < height and 0 <= x < width:
+                stream[position] = ifmap[channel, y, x]
+            position += 1
+    return stream
+
+
+def aligned_streams(
+    ifmap: np.ndarray,
+    reduction_indices: List[int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Stack the streams for a set of PE rows: shape (rows, E*F)."""
+    return np.stack(
+        [
+            row_stream(ifmap, index, kernel_h, kernel_w, stride, padding)
+            for index in reduction_indices
+        ]
+    )
+
+
+def delay_schedule(rows: int, pe_pipeline_stages: int) -> List[int]:
+    """Cycles each PE row's stream is delayed by the DAU cascades.
+
+    Row ``r`` waits ``r * (stages - 1)`` extra cycles so its pixels meet the
+    partial sums computed by the rows above (Section III-C).
+    """
+    if rows < 1 or pe_pipeline_stages < 1:
+        raise ValueError("rows and pipeline stages must be positive")
+    return [r * (pe_pipeline_stages - 1) for r in range(rows)]

@@ -1,0 +1,103 @@
+"""Functional model of SuperNPU's multi-register PE (Section V-B3).
+
+Each PE holds ``registers`` weights from different filters and performs
+``registers`` MACs per ifmap value, cycling its register ring — one column
+therefore serves ``registers`` output channels.  This module emulates that
+time-multiplexed execution bit-true and proves it equals the plain
+single-register mapping (and the direct convolution).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.functional.dau import aligned_streams
+from repro.functional.reference import conv2d_reference  # noqa: F401 (companion API)
+from repro.functional.systolic import SystolicArray
+
+
+class MultiKernelArray:
+    """A systolic array whose PEs carry ``registers`` weight slots.
+
+    Emulated as ``registers`` interleaved passes of a plain array — exactly
+    what the hardware's register ring does in time: ifmap value ``x`` stays
+    at the PE for ``registers`` cycles, meeting a different weight each
+    cycle and feeding a different psum chain.
+    """
+
+    def __init__(self, rows: int, cols: int, registers: int) -> None:
+        if registers < 1:
+            raise ValueError("need at least one register per PE")
+        self.rows = rows
+        self.cols = cols
+        self.registers = registers
+        self._planes = [SystolicArray(rows, cols) for _ in range(registers)]
+
+    @property
+    def filters_per_mapping(self) -> int:
+        return self.cols * self.registers
+
+    def load_weights(self, tile: np.ndarray) -> None:
+        """Load a (rows, cols * registers) weight tile.
+
+        Filters are laid out register-major: filter ``f`` lives in column
+        ``f % cols`` register ``f // cols``.
+        """
+        if tile.ndim != 2 or tile.shape[1] > self.filters_per_mapping:
+            raise ValueError(
+                f"tile must be 2-D with at most {self.filters_per_mapping} columns"
+            )
+        for register, plane in enumerate(self._planes):
+            start = register * self.cols
+            chunk = tile[:, start : start + self.cols]
+            plane.load_weights(chunk if chunk.size else np.zeros((1, 1), dtype=np.int64))
+
+    def run(self, streams: np.ndarray) -> np.ndarray:
+        """Stream a tile; returns (cols * registers, T) column outputs."""
+        outputs = [plane.run(streams) for plane in self._planes]
+        return np.concatenate(outputs, axis=0)
+
+
+def conv2d_multikernel(
+    ifmap: np.ndarray,
+    weights: np.ndarray,
+    array_rows: int,
+    array_cols: int,
+    registers: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Full convolution with multi-register column mapping (SuperNPU)."""
+    filters, channels, kernel_h, kernel_w = weights.shape
+    if ifmap.shape[0] != channels:
+        raise ValueError("ifmap/weight channel mismatch")
+    reduction = channels * kernel_h * kernel_w
+    out_h = (ifmap.shape[1] + 2 * padding - kernel_h) // stride + 1
+    out_w = (ifmap.shape[2] + 2 * padding - kernel_w) // stride + 1
+    vectors = out_h * out_w
+
+    flat = weights.reshape(filters, reduction).T  # (reduction, filters)
+    array = MultiKernelArray(array_rows, array_cols, registers)
+    accumulator = np.zeros((filters, vectors), dtype=np.int64)
+
+    filters_per_tile = array.filters_per_mapping
+    row_tiles: List[range] = [
+        range(start, min(start + array_rows, reduction))
+        for start in range(0, reduction, array_rows)
+    ]
+    col_tiles: List[range] = [
+        range(start, min(start + filters_per_tile, filters))
+        for start in range(0, filters, filters_per_tile)
+    ]
+    for col_tile in col_tiles:
+        for row_tile in row_tiles:
+            tile = flat[row_tile.start : row_tile.stop, col_tile.start : col_tile.stop]
+            array.load_weights(tile)
+            streams = aligned_streams(
+                ifmap, list(row_tile), kernel_h, kernel_w, stride, padding
+            )
+            outputs = array.run(streams)
+            accumulator[col_tile.start : col_tile.stop] += outputs[: len(col_tile)]
+    return accumulator.reshape(filters, out_h, out_w)

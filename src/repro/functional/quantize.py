@@ -1,0 +1,67 @@
+"""8-bit quantization for the functional NPU models.
+
+The paper's NPU computes 8-bit inference; this module supplies the
+symmetric per-tensor quantizer that maps float tensors onto the int8
+operands the systolic array consumes, and the corresponding dequantizer
+for comparing against float references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric linear quantization: ``q = clip(round(x / scale))``."""
+
+    scale: float
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.bits < 2:
+            raise ValueError("need at least 2 bits")
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+
+def calibrate(tensor: np.ndarray, bits: int = 8) -> QuantParams:
+    """Pick the symmetric scale covering a tensor's dynamic range."""
+    peak = float(np.max(np.abs(tensor)))
+    qmax = 2 ** (bits - 1) - 1
+    scale = peak / qmax
+    # Zero or denormal peaks would underflow the scale to 0; such tensors
+    # quantize to all-zeros under any sane scale, so use unity.
+    if not np.isfinite(scale) or scale <= np.finfo(np.float64).tiny:
+        scale = 1.0
+    return QuantParams(scale=scale, bits=bits)
+
+
+def quantize(tensor: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Float -> int (int64 carrier so systolic accumulation cannot wrap)."""
+    q = np.round(tensor / params.scale)
+    return np.clip(q, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize(tensor: np.ndarray, params: QuantParams) -> np.ndarray:
+    return tensor.astype(np.float64) * params.scale
+
+
+def quantization_error(tensor: np.ndarray, bits: int = 8) -> float:
+    """RMS relative error of a quantize/dequantize round trip."""
+    params = calibrate(tensor, bits)
+    restored = dequantize(quantize(tensor, params), params)
+    denom = float(np.sqrt(np.mean(tensor.astype(np.float64) ** 2)))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sqrt(np.mean((restored - tensor) ** 2))) / denom

@@ -1,0 +1,73 @@
+"""Direct (reference) convolution used to verify the systolic emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv2d_reference(
+    ifmap: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Direct 2D convolution (cross-correlation, as CNNs use).
+
+    Args:
+        ifmap: Input feature map, shape (C, H, W), integer or float.
+        weights: Filters, shape (K, C, R, S).
+        stride: Spatial stride.
+        padding: Zero padding on every border.
+
+    Returns:
+        Output feature map of shape (K, E, F) with
+        ``E = (H + 2p - R)//stride + 1`` and similarly for F.
+    """
+    if ifmap.ndim != 3:
+        raise ValueError("ifmap must have shape (C, H, W)")
+    if weights.ndim != 4:
+        raise ValueError("weights must have shape (K, C, R, S)")
+    channels, height, width = ifmap.shape
+    filters, w_channels, kernel_h, kernel_w = weights.shape
+    if w_channels != channels:
+        raise ValueError(f"channel mismatch: ifmap {channels}, weights {w_channels}")
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+
+    padded = np.pad(ifmap, ((0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel does not fit the padded input")
+
+    output = np.zeros((filters, out_h, out_w), dtype=np.result_type(ifmap, weights))
+    for k in range(filters):
+        for e in range(out_h):
+            for f in range(out_w):
+                window = padded[
+                    :, e * stride : e * stride + kernel_h, f * stride : f * stride + kernel_w
+                ]
+                output[k, e, f] = np.sum(window * weights[k])
+    return output
+
+
+def depthwise_reference(
+    ifmap: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Depthwise convolution: one (R, S) filter per channel.
+
+    Args:
+        ifmap: shape (C, H, W); weights: shape (C, R, S).
+    """
+    if weights.ndim != 3 or weights.shape[0] != ifmap.shape[0]:
+        raise ValueError("weights must have shape (C, R, S) matching ifmap channels")
+    outputs = [
+        conv2d_reference(ifmap[c : c + 1], weights[c : c + 1, None], stride, padding)[0]
+        for c in range(ifmap.shape[0])
+    ]
+    return np.stack(outputs)

@@ -1,0 +1,124 @@
+"""Functional shift-register buffer: data-correct, cycle-counted.
+
+The cycle model charges the SFQ buffer's defining costs — serial access,
+full-rotation rewinds, chunked MUX selection — as formulas
+(:class:`~repro.uarch.buffers.ShiftRegisterBuffer`).  This module executes
+the same structure on real data: a ring of storage slots that genuinely
+shifts one entry per cycle, so tests can confirm both the *data* (what
+comes out) and the *cycles* (what it costs) agree with the model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class FunctionalShiftRegister:
+    """One shift-register row: a ring of ``length`` entries.
+
+    The head is the only read/write port (Fig. 2(b)): ``shift`` rotates the
+    ring one slot per cycle and every operation counts the cycles it spent.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise ValueError("length must be positive")
+        self._slots: List[Optional[int]] = [None] * length
+        self._head = 0
+        self.cycles = 0
+
+    @property
+    def length(self) -> int:
+        return len(self._slots)
+
+    def shift(self) -> Optional[int]:
+        """Rotate one slot (one cycle); returns the entry leaving the head."""
+        value = self._slots[self._head]
+        self._head = (self._head + 1) % self.length
+        self.cycles += 1
+        return value
+
+    def write_stream(self, values: Sequence[int]) -> None:
+        """Write entries through the head, one per cycle."""
+        if len(values) > self.length:
+            raise ValueError("stream exceeds register length")
+        for value in values:
+            # Writing replaces the slot leaving the head as the ring turns.
+            self._slots[self._head] = value
+            self.shift()
+
+    def read_stream(self, count: int) -> List[int]:
+        """Read ``count`` entries from the head, one per cycle."""
+        if count > self.length:
+            raise ValueError("read exceeds register length")
+        out = []
+        for _ in range(count):
+            value = self.shift()
+            if value is None:
+                raise LookupError("read past written data")
+            out.append(value)
+        return out
+
+    def rewind(self) -> int:
+        """Rotate back to slot 0; returns the cycles it cost.
+
+        This is the Section V-A2 cost: reaching the data's head again means
+        shifting the remaining length of the ring.
+        """
+        cost = (self.length - self._head) % self.length
+        for _ in range(cost):
+            self.shift()
+        return cost
+
+
+class FunctionalChunkedBuffer:
+    """A divided buffer: ``division`` independent rings behind a selector.
+
+    Chunk selection is combinational (the MUX/DEMUX trees of Fig. 19), so
+    switching chunks costs zero shift cycles — the heart of the buffer
+    optimization.
+    """
+
+    def __init__(self, capacity_entries: int, division: int) -> None:
+        if capacity_entries < 1:
+            raise ValueError("capacity must be positive")
+        if division < 1 or division > capacity_entries:
+            raise ValueError("division must lie in [1, capacity]")
+        chunk_length = -(-capacity_entries // division)  # ceil
+        self._chunks = [FunctionalShiftRegister(chunk_length) for _ in range(division)]
+        self._selected = 0
+
+    @property
+    def division(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def chunk_length(self) -> int:
+        return self._chunks[0].length
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(chunk.cycles for chunk in self._chunks)
+
+    def select(self, chunk: int) -> None:
+        """Steer the MUX trees to ``chunk`` (zero shift cycles)."""
+        if not 0 <= chunk < self.division:
+            raise ValueError(f"chunk {chunk} out of range [0, {self.division})")
+        self._selected = chunk
+
+    @property
+    def selected(self) -> FunctionalShiftRegister:
+        return self._chunks[self._selected]
+
+    def write_stream(self, values: Sequence[int]) -> None:
+        self.selected.write_stream(values)
+
+    def read_stream(self, count: int) -> List[int]:
+        return self.selected.read_stream(count)
+
+    def rewind(self) -> int:
+        return self.selected.rewind()
+
+    def worst_case_rewind(self) -> int:
+        """The model's ``rewind_cycles``: one chunk's full length."""
+        return self.chunk_length

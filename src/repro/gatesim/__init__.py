@@ -1,0 +1,66 @@
+"""Gate-level pulse-logic simulator for SFQ pipelines."""
+
+from repro.gatesim.gates import (
+    AndGate,
+    ClockedGate,
+    DFFGate,
+    GATE_TYPES,
+    NDROGate,
+    NotGate,
+    OrGate,
+    TFFGate,
+    XorGate,
+    make_gate,
+)
+from repro.gatesim.network import GateNetwork
+from repro.gatesim.pe import WeightStationaryPE
+from repro.gatesim.builder import CircuitBuilder, Signal
+from repro.gatesim.faults import (
+    FaultyNetwork,
+    PulseFault,
+    compute_with_faults,
+    sensitive_gates,
+)
+from repro.gatesim.circuits import (
+    PipelinedCircuit,
+    build_adder,
+    build_frequency_divider,
+    build_mac,
+    build_max,
+    build_multiplier,
+    build_relu,
+    full_adder,
+    multiplier_bits,
+    ripple_adder,
+)
+
+__all__ = [
+    "AndGate",
+    "ClockedGate",
+    "DFFGate",
+    "GATE_TYPES",
+    "NDROGate",
+    "NotGate",
+    "OrGate",
+    "TFFGate",
+    "XorGate",
+    "make_gate",
+    "GateNetwork",
+    "WeightStationaryPE",
+    "CircuitBuilder",
+    "Signal",
+    "FaultyNetwork",
+    "PulseFault",
+    "compute_with_faults",
+    "sensitive_gates",
+    "PipelinedCircuit",
+    "build_adder",
+    "build_frequency_divider",
+    "build_mac",
+    "build_max",
+    "build_multiplier",
+    "build_relu",
+    "full_adder",
+    "multiplier_bits",
+    "ripple_adder",
+]

@@ -1,0 +1,164 @@
+"""Timing-aware circuit builder for gate-level-pipelined SFQ logic.
+
+In a gate-level pipeline every gate is a stage, so *when* a pulse exists
+is part of its meaning.  The builder tracks each signal's ready cycle and
+inserts the path-balancing DFF chains (Section II-B1's hidden cost — the
+reason the MAC model carries a DFF-per-logic-gate factor) automatically
+whenever two signals of different depth meet at a gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional, Sequence
+
+from repro.gatesim.network import GateNetwork
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A pulse stream: where it comes from and at which pipeline depth.
+
+    ``source`` is a gate name, or an input name when ``is_input``; a
+    ``None`` source is the constant-zero signal (no pulse, ever).
+    """
+
+    source: Optional[str]
+    depth: int
+    is_input: bool = False
+
+    @property
+    def is_zero(self) -> bool:
+        return self.source is None
+
+
+class CircuitBuilder:
+    """Builds a :class:`GateNetwork` with automatic path balancing."""
+
+    def __init__(self) -> None:
+        self.network = GateNetwork()
+        self._ids = count()
+        self._input_depths: Dict[str, int] = {}
+        self._output_depths: Dict[str, int] = {}
+
+    # -- Signals --------------------------------------------------------------
+
+    def input(self, name: str) -> Signal:
+        """Declare a primary input presented at cycle 0 of each operation."""
+        self.network.add_input(name)
+        self._input_depths[name] = 0
+        return Signal(source=name, depth=0, is_input=True)
+
+    def zero(self, depth: int = 0) -> Signal:
+        """The constant-0 signal (no pulses; free to 'align' anywhere)."""
+        return Signal(source=None, depth=depth)
+
+    def _fresh(self, kind: str) -> str:
+        return self.network.add_gate(f"{kind.lower()}{next(self._ids)}", kind)
+
+    def _attach(self, signal: Signal, gate: str, port: str) -> None:
+        if signal.is_zero:
+            return
+        if signal.is_input:
+            self.network.connect_input(signal.source, gate, port)
+        else:
+            self.network.connect(signal.source, gate, port)
+
+    def delay(self, signal: Signal, cycles: int) -> Signal:
+        """Retime a signal through ``cycles`` path-balancing DFFs."""
+        if cycles < 0:
+            raise ValueError("cannot delay by a negative amount")
+        if cycles == 0 or signal.is_zero:
+            return Signal(signal.source, signal.depth + cycles, signal.is_input)
+        current = signal
+        for _ in range(cycles):
+            dff = self._fresh("DFF")
+            self._attach(current, dff, "a")
+            current = Signal(source=dff, depth=current.depth + 1)
+        return current
+
+    def align(self, *signals: Signal) -> List[Signal]:
+        """Pad every signal with DFFs up to the deepest one's depth."""
+        if not signals:
+            return []
+        deepest = max(signal.depth for signal in signals)
+        return [self.delay(signal, deepest - signal.depth) for signal in signals]
+
+    # -- Gates ----------------------------------------------------------------
+
+    def _binary(self, kind: str, a: Signal, b: Signal) -> Signal:
+        a, b = self.align(a, b)
+        if kind == "AND" and (a.is_zero or b.is_zero):
+            return self.zero(a.depth + 1)
+        if kind in ("OR", "XOR"):
+            if a.is_zero and b.is_zero:
+                return self.zero(a.depth + 1)
+            if a.is_zero:
+                return self.delay(b, 1)
+            if b.is_zero:
+                return self.delay(a, 1)
+        gate = self._fresh(kind)
+        self._attach(a, gate, "a")
+        self._attach(b, gate, "b")
+        return Signal(source=gate, depth=a.depth + 1)
+
+    def and_(self, a: Signal, b: Signal) -> Signal:
+        return self._binary("AND", a, b)
+
+    def or_(self, a: Signal, b: Signal) -> Signal:
+        return self._binary("OR", a, b)
+
+    def xor(self, a: Signal, b: Signal) -> Signal:
+        return self._binary("XOR", a, b)
+
+    def not_(self, a: Signal) -> Signal:
+        if a.is_zero:
+            raise ValueError("inverting constant zero creates a constant-1 "
+                             "pulse train; model it explicitly instead")
+        gate = self._fresh("NOT")
+        self._attach(a, gate, "a")
+        return Signal(source=gate, depth=a.depth + 1)
+
+    # -- Outputs and execution --------------------------------------------------
+
+    def output(self, name: str, signal: Signal) -> None:
+        """Expose a signal; its depth is the output's pipeline latency."""
+        if signal.is_zero:
+            # A constant-zero output needs a real (never-firing) source.
+            gate = self._fresh("AND")
+            signal = Signal(source=gate, depth=signal.depth)
+        elif signal.is_input:
+            signal = self.delay(signal, 1)  # latch inputs before exposing
+        self.network.add_output(name, signal.source)
+        self._output_depths[name] = signal.depth
+
+    def output_latency(self, name: str) -> int:
+        return self._output_depths[name]
+
+    def run_stream(
+        self,
+        operations: Sequence[Dict[str, bool]],
+    ) -> List[Dict[str, bool]]:
+        """Stream one operation per cycle and de-skew the outputs.
+
+        Returns one output map per operation, each read at its output's
+        own latency — i.e. the fully pipelined, 1-op-per-cycle usage the
+        SFQ pipeline is built for.
+        """
+        if not operations:
+            return []
+        max_latency = max(self._output_depths.values(), default=1)
+        trace = self.network.run(list(operations), extra_cycles=max_latency)
+        # A depth-d output gate is clocked - and its pulse observed - during
+        # cycle d-1 of its operation (inputs delivered at cycle 0 are
+        # consumed by that same cycle's clock).
+        results: List[Dict[str, bool]] = []
+        for index in range(len(operations)):
+            results.append(
+                {
+                    name: trace[index + depth - 1][name]
+                    for name, depth in self._output_depths.items()
+                }
+            )
+        return results

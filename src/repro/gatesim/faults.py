@@ -1,0 +1,123 @@
+"""Fault injection for pulse-logic networks.
+
+SFQ logic's failure modes are *pulse* faults: a gate drops its output
+pulse (insufficient bias / timing violation) or emits a spurious one
+(flux trapping, noise).  Injecting them into a gate network shows how a
+single lost pulse corrupts an arithmetic result — the device-level reason
+the bias-margin and timing-yield analyses exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.gatesim.circuits import PipelinedCircuit
+from repro.gatesim.network import GateNetwork, OUTPUT_MARKER
+
+
+@dataclass(frozen=True)
+class PulseFault:
+    """One injected fault: at ``cycle``, ``gate``'s output pulse is dropped
+    (``kind='drop'``) or forced (``kind='insert'``)."""
+
+    gate: str
+    cycle: int
+    kind: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drop", "insert"):
+            raise ValueError("fault kind must be 'drop' or 'insert'")
+        if self.cycle < 0:
+            raise ValueError("fault cycle must be non-negative")
+
+
+class FaultyNetwork:
+    """Wraps a :class:`GateNetwork`, applying faults to emitted pulses."""
+
+    def __init__(self, network: GateNetwork, faults: Sequence[PulseFault]) -> None:
+        self.network = network
+        self._faults: Dict[Tuple[str, int], str] = {}
+        for fault in faults:
+            if fault.gate not in network._gates:
+                raise KeyError(f"no gate {fault.gate!r} to fault")
+            self._faults[(fault.gate, fault.cycle)] = fault.kind
+        self._cycle = 0
+
+    def step(self, input_pulses: Dict[str, bool] | None = None) -> Dict[str, bool]:
+        """One cycle with fault overrides applied to gate outputs."""
+        net = self.network
+        if input_pulses:
+            for name, pulse in input_pulses.items():
+                if pulse:
+                    for gate, port in net._inputs[name]:
+                        net._gates[gate].receive(port)
+        emitted = {name: gate.clock() for name, gate in net._gates.items()}
+        for (gate, cycle), kind in self._faults.items():
+            if cycle == self._cycle:
+                emitted[gate] = kind == "insert"
+        outputs = {name: False for name in net._output_names}
+        for source, pulse in emitted.items():
+            if not pulse:
+                continue
+            for dest_gate, dest_port in net._wires[source].destinations:
+                if dest_gate == OUTPUT_MARKER:
+                    outputs[dest_port] = True
+                else:
+                    net._gates[dest_gate].receive(dest_port)
+        self._cycle += 1
+        return outputs
+
+    def run(self, schedule: Sequence[Dict[str, bool]], extra_cycles: int = 0) -> List[Dict[str, bool]]:
+        trace = [self.step(p) for p in schedule]
+        trace += [self.step({}) for _ in range(extra_cycles)]
+        return trace
+
+
+def compute_with_faults(
+    circuit: PipelinedCircuit,
+    operands: Dict[str, int],
+    faults: Sequence[PulseFault],
+) -> int:
+    """Run one operation through a faulted copy of the circuit.
+
+    Rebuilds nothing: the circuit is stateless between operations, so a
+    fresh FaultyNetwork over the same gates suffices (state is cleared by
+    the flush cycles of the previous run).
+    """
+    schedule = [circuit._encode(operands)]
+    max_latency = max(
+        circuit.builder.output_latency(f"{circuit.output_prefix}{i}")
+        for i in range(circuit.output_width)
+    )
+    faulty = FaultyNetwork(circuit.builder.network, faults)
+    trace = faulty.run(schedule, extra_cycles=max_latency)
+    outputs = {
+        f"{circuit.output_prefix}{i}": trace[
+            circuit.builder.output_latency(f"{circuit.output_prefix}{i}") - 1
+        ][f"{circuit.output_prefix}{i}"]
+        for i in range(circuit.output_width)
+    }
+    return circuit._decode(outputs)
+
+
+def sensitive_gates(
+    circuit: PipelinedCircuit,
+    operands: Dict[str, int],
+    cycle: int = 1,
+) -> Set[str]:
+    """Gates whose dropped pulse at ``cycle`` corrupts this operation.
+
+    A brute-force single-fault campaign: the returned set is the
+    fault-sensitive surface of the computation (gates that carried a
+    meaningful pulse that cycle).
+    """
+    golden = circuit.compute(**operands)
+    sensitive = set()
+    for name in list(circuit.builder.network._gates):
+        result = compute_with_faults(
+            circuit, operands, [PulseFault(gate=name, cycle=cycle)]
+        )
+        if result != golden:
+            sensitive.add(name)
+    return sensitive

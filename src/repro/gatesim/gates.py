@@ -1,0 +1,164 @@
+"""Pulse-logic semantics of clocked SFQ gates (paper Section II-A).
+
+Every clocked SFQ gate behaves the same way (Fig. 1(c)/(d)):
+
+* between two clock pulses it *latches* which of its inputs received a
+  pulse (the stored flux quanta);
+* on the clock pulse it emits — or doesn't — one output pulse according to
+  its boolean function, and resets its input state.
+
+A logical '1' is "a pulse arrived in this clock window", '0' is "none
+did".  This module models exactly that: each gate holds a set of armed
+input ports and produces its output when clocked.  Unclocked elements
+(splitters, mergers) are pure wiring handled by the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class ClockedGate:
+    """Base class: latch input pulses, evaluate on clock."""
+
+    #: Input port names, overridden by subclasses.
+    ports: Tuple[str, ...] = ("a",)
+    name = "GATE"
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, bool] = {port: False for port in self.ports}
+
+    def receive(self, port: str) -> None:
+        """An input pulse arrives on ``port`` (before the next clock)."""
+        if port not in self._armed:
+            raise ValueError(f"{self.name} has no port {port!r}; ports: {self.ports}")
+        self._armed[port] = True
+
+    def _evaluate(self, armed: Dict[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def clock(self) -> bool:
+        """Apply the clock pulse: emit (or not) and clear the input state."""
+        output = self._evaluate(self._armed)
+        for port in self._armed:
+            self._armed[port] = False
+        return output
+
+    def peek(self, port: str) -> bool:
+        return self._armed[port]
+
+
+class AndGate(ClockedGate):
+    ports = ("a", "b")
+    name = "AND"
+
+    def _evaluate(self, armed):
+        return armed["a"] and armed["b"]
+
+
+class OrGate(ClockedGate):
+    ports = ("a", "b")
+    name = "OR"
+
+    def _evaluate(self, armed):
+        return armed["a"] or armed["b"]
+
+
+class XorGate(ClockedGate):
+    ports = ("a", "b")
+    name = "XOR"
+
+    def _evaluate(self, armed):
+        return armed["a"] != armed["b"]
+
+
+class NotGate(ClockedGate):
+    """Clocked inverter: emits when NO input pulse arrived this window."""
+
+    ports = ("a",)
+    name = "NOT"
+
+    def _evaluate(self, armed):
+        return not armed["a"]
+
+
+class DFFGate(ClockedGate):
+    """The Fig. 1(c) DFF: releases on clock whatever arrived since the
+    previous clock — a one-cycle delay element."""
+
+    ports = ("a",)
+    name = "DFF"
+
+    def _evaluate(self, armed):
+        return armed["a"]
+
+
+class NDROGate(ClockedGate):
+    """Non-destructive readout cell: ``set``/``reset`` write a persistent
+    bit; the clock *reads* it without clearing it."""
+
+    ports = ("set", "reset", "clock_enable")
+    name = "NDRO"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stored = False
+
+    def clock(self) -> bool:
+        if self._armed["reset"]:
+            self._stored = False
+        elif self._armed["set"]:
+            self._stored = True
+        output = self._stored
+        for port in self._armed:
+            self._armed[port] = False
+        return output
+
+    def _evaluate(self, armed):  # pragma: no cover - clock() overridden
+        return self._stored
+
+
+class TFFGate(ClockedGate):
+    """Toggle flip-flop: emits one output pulse for every *two* input
+    pulses — the SFQ frequency divider (770 GHz demo of footnote 2).
+
+    Unclocked in real hardware; modeled per-window: an input pulse toggles
+    the internal state, and the gate emits on the 1 -> 0 transition.
+    """
+
+    ports = ("a",)
+    name = "TFF"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._phase = False
+
+    def clock(self) -> bool:
+        output = False
+        if self._armed["a"]:
+            output = self._phase
+            self._phase = not self._phase
+        self._armed["a"] = False
+        return output
+
+    def _evaluate(self, armed):  # pragma: no cover - clock() overridden
+        return False
+
+
+#: Factory table used by the netlist builder.
+GATE_TYPES = {
+    "AND": AndGate,
+    "OR": OrGate,
+    "XOR": XorGate,
+    "NOT": NotGate,
+    "DFF": DFFGate,
+    "NDRO": NDROGate,
+    "TFF": TFFGate,
+}
+
+
+def make_gate(kind: str) -> ClockedGate:
+    try:
+        return GATE_TYPES[kind]()
+    except KeyError:
+        raise ValueError(f"unknown gate kind {kind!r}; known: {sorted(GATE_TYPES)}") from None

@@ -1,0 +1,128 @@
+"""Gate-network engine: gate-level-pipelined execution, one clock at a time.
+
+Every gate in an SFQ gate-level pipeline is clocked simultaneously
+(Section II-B1); a pulse emitted at clock ``k`` reaches its destination
+latch before clock ``k+1``.  The engine therefore steps in two phases per
+cycle — clock every gate, then deliver the emitted pulses — which also
+makes feedback wires (a gate feeding itself or an earlier stage) work
+naturally.
+
+Fan-out (splitters) is wiring: one output may drive any number of
+destination ports.  Primary inputs are scheduled per cycle; primary
+outputs are recorded per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gatesim.gates import ClockedGate, make_gate
+
+#: A destination: (gate name, port) or ("@", output name) for a primary output.
+Destination = Tuple[str, str]
+
+OUTPUT_MARKER = "@"
+
+
+@dataclass
+class _Wire:
+    destinations: List[Destination]
+
+
+class GateNetwork:
+    """A named collection of clocked gates plus their wiring."""
+
+    def __init__(self) -> None:
+        self._gates: Dict[str, ClockedGate] = {}
+        self._wires: Dict[str, _Wire] = {}
+        self._inputs: Dict[str, List[Destination]] = {}
+        self._output_names: List[str] = []
+
+    # -- Construction ---------------------------------------------------------
+
+    def add_gate(self, name: str, kind: str) -> str:
+        if name in self._gates:
+            raise ValueError(f"duplicate gate name {name!r}")
+        self._gates[name] = make_gate(kind)
+        self._wires[name] = _Wire(destinations=[])
+        return name
+
+    def add_input(self, name: str) -> str:
+        if name in self._inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        self._inputs[name] = []
+        return name
+
+    def add_output(self, name: str, from_gate: str) -> str:
+        """Expose ``from_gate``'s output pulse stream as primary output."""
+        self._require_gate(from_gate)
+        if name in self._output_names:
+            raise ValueError(f"duplicate output {name!r}")
+        self._output_names.append(name)
+        self._wires[from_gate].destinations.append((OUTPUT_MARKER, name))
+        return name
+
+    def connect(self, source_gate: str, dest_gate: str, dest_port: str) -> None:
+        """Wire a gate output to another gate's input port (fan-out free)."""
+        self._require_gate(source_gate)
+        self._require_gate(dest_gate)
+        self._wires[source_gate].destinations.append((dest_gate, dest_port))
+
+    def connect_input(self, input_name: str, dest_gate: str, dest_port: str) -> None:
+        if input_name not in self._inputs:
+            raise KeyError(f"no input {input_name!r}")
+        self._require_gate(dest_gate)
+        self._inputs[input_name].append((dest_gate, dest_port))
+
+    def _require_gate(self, name: str) -> None:
+        if name not in self._gates:
+            raise KeyError(f"no gate {name!r}")
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def output_names(self) -> List[str]:
+        return list(self._output_names)
+
+    def gate_kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self._gates.values():
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    # -- Execution ------------------------------------------------------------
+
+    def step(self, input_pulses: Dict[str, bool] | None = None) -> Dict[str, bool]:
+        """One clock cycle: deliver input pulses, clock all gates, route.
+
+        Returns the primary-output pulses of this cycle.
+        """
+        if input_pulses:
+            for name, pulse in input_pulses.items():
+                if name not in self._inputs:
+                    raise KeyError(f"no input {name!r}")
+                if pulse:
+                    for gate, port in self._inputs[name]:
+                        self._gates[gate].receive(port)
+        emitted = {name: gate.clock() for name, gate in self._gates.items()}
+        outputs = {name: False for name in self._output_names}
+        for source, pulse in emitted.items():
+            if not pulse:
+                continue
+            for dest_gate, dest_port in self._wires[source].destinations:
+                if dest_gate == OUTPUT_MARKER:
+                    outputs[dest_port] = True
+                else:
+                    self._gates[dest_gate].receive(dest_port)
+        return outputs
+
+    def run(self, schedule: Sequence[Dict[str, bool]], extra_cycles: int = 0) -> List[Dict[str, bool]]:
+        """Apply one input map per cycle, then flush ``extra_cycles`` more."""
+        if extra_cycles < 0:
+            raise ValueError("extra cycles must be non-negative")
+        trace = [self.step(pulses) for pulses in schedule]
+        trace += [self.step({}) for _ in range(extra_cycles)]
+        return trace

@@ -1,0 +1,108 @@
+"""A complete weight-stationary PE at gate level (Fig. 6(a), realized).
+
+The paper's PE holds its weight in non-destructive-readout (NDRO) cells,
+multiplies each streamed ifmap value against it and adds the incoming
+partial sum.  This module builds that exact structure from pulse logic:
+
+* a load phase writes the weight bits into NDRO cells (``set`` pulses);
+* NDROs are clocked every cycle, re-emitting the stored bits
+  non-destructively — the "weight-stationary" property in the flesh;
+* the multiplier + psum adder pipeline consumes one (ifmap, psum) pair per
+  clock, indefinitely, without reloading the weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.gatesim.builder import CircuitBuilder, Signal
+from repro.gatesim.circuits import multiplier_bits, ripple_adder
+
+
+class WeightStationaryPE:
+    """A gate-level PE: load a weight once, stream MACs forever."""
+
+    def __init__(self, bits: int = 4, psum_bits: int | None = None) -> None:
+        if bits < 1:
+            raise ValueError("width must be positive")
+        self.bits = bits
+        self.psum_bits = psum_bits or (2 * bits + 1)
+        if self.psum_bits < 2 * bits:
+            raise ValueError("psum width must hold the full product")
+        self._build()
+
+    def _build(self) -> None:
+        builder = CircuitBuilder()
+        network = builder.network
+        # Weight-load inputs drive the NDRO set/reset ports directly.
+        self._ndro_names: List[str] = []
+        for bit in range(self.bits):
+            network.add_input(f"wset{bit}")
+            network.add_input(f"wreset{bit}")
+            ndro = network.add_gate(f"weight{bit}", "NDRO")
+            network.connect_input(f"wset{bit}", ndro, "set")
+            network.connect_input(f"wreset{bit}", ndro, "reset")
+            self._ndro_names.append(ndro)
+        weight_signals = [Signal(source=name, depth=1) for name in self._ndro_names]
+
+        a_bits = [builder.input(f"a{i}") for i in range(self.bits)]
+        c_bits = [builder.input(f"c{i}") for i in range(self.psum_bits)]
+        # Ifmap bits wait one stage so they meet the NDRO read-outs.
+        a_bits = [builder.delay(a, 1) for a in a_bits]
+        product = multiplier_bits(builder, a_bits, weight_signals)
+        product += [builder.zero() for _ in range(self.psum_bits - len(product))]
+        total = ripple_adder(builder, product[: self.psum_bits], c_bits)
+        for i in range(self.psum_bits):
+            builder.output(f"p{i}", total[i])
+        self.builder = builder
+
+    # -- Operation -------------------------------------------------------------
+
+    @property
+    def latency(self) -> int:
+        return max(
+            self.builder.output_latency(f"p{i}") for i in range(self.psum_bits)
+        )
+
+    @property
+    def num_gates(self) -> int:
+        return self.builder.network.num_gates
+
+    def load_weight(self, weight: int) -> None:
+        """Write the weight into the NDRO cells (one load cycle)."""
+        if not 0 <= weight < (1 << self.bits):
+            raise ValueError(f"weight {weight} does not fit in {self.bits} bits")
+        pulses: Dict[str, bool] = {}
+        for bit in range(self.bits):
+            if (weight >> bit) & 1:
+                pulses[f"wset{bit}"] = True
+            else:
+                pulses[f"wreset{bit}"] = True
+        self.builder.network.step(pulses)
+
+    def stream(self, pairs: Sequence["tuple[int, int]"]) -> List[int]:
+        """Stream (ifmap, psum_in) pairs, one per clock; returns psum_outs."""
+        operations = []
+        for ifmap, psum in pairs:
+            if not 0 <= ifmap < (1 << self.bits):
+                raise ValueError(f"ifmap {ifmap} does not fit in {self.bits} bits")
+            if not 0 <= psum < (1 << self.psum_bits):
+                raise ValueError(f"psum {psum} does not fit in {self.psum_bits} bits")
+            pulses = {}
+            for bit in range(self.bits):
+                pulses[f"a{bit}"] = bool((ifmap >> bit) & 1)
+            for bit in range(self.psum_bits):
+                pulses[f"c{bit}"] = bool((psum >> bit) & 1)
+            operations.append(pulses)
+        raw = self.builder.run_stream(operations)
+        results = []
+        for outputs in raw:
+            value = 0
+            for bit in range(self.psum_bits):
+                if outputs[f"p{bit}"]:
+                    value |= 1 << bit
+            results.append(value)
+        return results
+
+    def mac(self, ifmap: int, psum: int) -> int:
+        return self.stream([(ifmap, psum)])[0]

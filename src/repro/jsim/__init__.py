@@ -1,0 +1,91 @@
+"""RCSJ-model transient circuit simulator for SFQ logic (JSIM substitute)."""
+
+from repro.jsim.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    JosephsonJunction,
+    Resistor,
+)
+from repro.jsim.netlist import Circuit, GROUND
+from repro.jsim.solver import TransientResult, TransientSolver
+from repro.jsim.stimuli import gaussian_pulse, pulse_train, ramped_bias
+from repro.jsim.measure import (
+    peak_voltage_mv,
+    propagation_delay_ps,
+    stored_flux_quanta,
+    switch_count,
+    switching_times_ps,
+)
+from repro.jsim.circuits import (
+    JTL,
+    ClockGenerator,
+    CoincidenceGate,
+    build_coincidence_and,
+    StorageLoop,
+    TransmissionLine,
+    build_clock_generator,
+    build_jtl,
+    build_ptl,
+    build_storage_loop,
+    clock_bias_for_frequency,
+    clock_generator_frequency_ghz,
+    drive_jtl,
+    jtl_stage_delay_ps,
+    ptl_delay_ps_per_mm,
+    tune_clock_generator,
+)
+from repro.jsim.extract import (
+    MarginReport,
+    bias_margins,
+    extract_jtl_delay_ps,
+    extract_setup_time_ps,
+)
+from repro.jsim.netlist_io import (
+    NetlistError,
+    parse_netlist,
+    serialize_netlist,
+)
+
+__all__ = [
+    "Capacitor",
+    "CurrentSource",
+    "Inductor",
+    "JosephsonJunction",
+    "Resistor",
+    "Circuit",
+    "GROUND",
+    "TransientResult",
+    "TransientSolver",
+    "gaussian_pulse",
+    "pulse_train",
+    "ramped_bias",
+    "peak_voltage_mv",
+    "propagation_delay_ps",
+    "stored_flux_quanta",
+    "switch_count",
+    "switching_times_ps",
+    "JTL",
+    "StorageLoop",
+    "build_jtl",
+    "build_storage_loop",
+    "drive_jtl",
+    "jtl_stage_delay_ps",
+    "ClockGenerator",
+    "CoincidenceGate",
+    "build_coincidence_and",
+    "TransmissionLine",
+    "build_clock_generator",
+    "build_ptl",
+    "clock_bias_for_frequency",
+    "clock_generator_frequency_ghz",
+    "ptl_delay_ps_per_mm",
+    "tune_clock_generator",
+    "MarginReport",
+    "bias_margins",
+    "extract_jtl_delay_ps",
+    "extract_setup_time_ps",
+    "NetlistError",
+    "parse_netlist",
+    "serialize_netlist",
+]

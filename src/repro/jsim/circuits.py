@@ -1,0 +1,393 @@
+"""Prebuilt Josephson circuits: JTL, storage loop (DFF core), SFQ ring.
+
+These are the circuits the paper exercises with JSIM: the Josephson
+transmission line whose per-stage delay calibrates the wire cells, and the
+single-superconductor-ring storage element underlying the DFF of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.jsim.elements import CurrentSource, Inductor, JosephsonJunction
+from repro.jsim.netlist import Circuit
+from repro.jsim.stimuli import gaussian_pulse, ramped_bias
+
+#: Default JTL parameters for the AIST-like 1.0 um process.
+JTL_IC_UA = 100.0
+JTL_L_PH = 6.0
+JTL_BIAS_FRACTION = 0.7
+BIAS_RAMP_PS = 20.0
+
+
+@dataclass
+class JTL:
+    """A Josephson transmission line of ``stages`` biased junctions."""
+
+    circuit: Circuit
+    nodes: List[int]
+    input_node: int
+
+    @property
+    def stages(self) -> int:
+        return len(self.nodes)
+
+
+def build_jtl(
+    stages: int,
+    ic_ua: float = JTL_IC_UA,
+    inductance_ph: float = JTL_L_PH,
+    bias_fraction: float = JTL_BIAS_FRACTION,
+) -> JTL:
+    """A ``stages``-junction JTL with ramped DC bias on every node."""
+    if stages < 2:
+        raise ValueError("a JTL needs at least two stages")
+    if not 0 < bias_fraction < 1:
+        raise ValueError("bias fraction must lie in (0, 1)")
+    circuit = Circuit()
+    nodes = [circuit.node(label=f"jtl{i}") for i in range(stages)]
+    for i, node in enumerate(nodes):
+        circuit.add_junction(
+            JosephsonJunction(node, 0, critical_current_ua=ic_ua, label=f"J{i}")
+        )
+        circuit.add_source(
+            CurrentSource(node, ramped_bias(bias_fraction * ic_ua, BIAS_RAMP_PS),
+                          label=f"bias{i}")
+        )
+    for i in range(stages - 1):
+        circuit.add_inductor(
+            Inductor(nodes[i], nodes[i + 1], inductance_ph, label=f"L{i}")
+        )
+    return JTL(circuit=circuit, nodes=nodes, input_node=nodes[0])
+
+
+def drive_jtl(jtl: JTL, pulse_time_ps: float, amplitude_ua: float = 300.0) -> None:
+    """Inject one SFQ trigger pulse at the JTL input."""
+    jtl.circuit.add_source(
+        CurrentSource(jtl.input_node, gaussian_pulse(pulse_time_ps, amplitude_ua),
+                      label="input")
+    )
+
+
+@dataclass
+class StorageLoop:
+    """The DFF core of Fig. 1(c): two junctions closing a quantizing loop."""
+
+    circuit: Circuit
+    input_node: int
+    output_node: int
+
+
+def build_storage_loop(
+    ic_ua: float = JTL_IC_UA,
+    loop_inductance_ph: float = 18.0,
+    bias_fraction: float = JTL_BIAS_FRACTION,
+) -> StorageLoop:
+    """A superconductor ring holding one SFQ between two junctions.
+
+    An input pulse switches the left ("input") junction and parks one flux
+    quantum in the loop; a clock pulse on the output node then switches the
+    right junction and releases the quantum as an output pulse — exactly
+    the Fig. 1(c)/(d) sequence.
+    """
+    circuit = Circuit()
+    input_node = circuit.node(label="in")
+    output_node = circuit.node(label="out")
+    circuit.add_junction(
+        JosephsonJunction(input_node, 0, critical_current_ua=ic_ua, label="Jleft")
+    )
+    circuit.add_junction(
+        JosephsonJunction(output_node, 0, critical_current_ua=ic_ua, label="Jright")
+    )
+    circuit.add_inductor(
+        Inductor(input_node, output_node, loop_inductance_ph, label="Lq")
+    )
+    circuit.add_source(
+        CurrentSource(input_node, ramped_bias(bias_fraction * ic_ua, BIAS_RAMP_PS),
+                      label="bias_in")
+    )
+    return StorageLoop(circuit=circuit, input_node=input_node, output_node=output_node)
+
+
+def jtl_stage_delay_ps(stages: int = 8, settle_ps: float = 40.0) -> float:
+    """Measure the per-stage JTL propagation delay with a transient run.
+
+    This is the jsim-level cross-check of the cell library's wire delay
+    (DEFAULT_WIRE_DELAY_PS): launch a pulse, time its arrival at the first
+    and last junctions, divide by the hop count.
+    """
+    from repro.jsim.measure import propagation_delay_ps
+    from repro.jsim.solver import TransientSolver
+
+    jtl = build_jtl(stages)
+    drive_jtl(jtl, pulse_time_ps=settle_ps)
+    solver = TransientSolver(jtl.circuit)
+    result = solver.run(settle_ps + 40.0)
+    total = propagation_delay_ps(result, jtl.nodes[0], jtl.nodes[-1])
+    return total / (stages - 1)
+
+
+@dataclass
+class TransmissionLine:
+    """A passive transmission line (PTL): an LC ladder between JJ driver
+    and receiver, the paper's long-haul interconnect (Takagi et al.)."""
+
+    circuit: Circuit
+    driver_node: int
+    receiver_node: int
+    segments: int
+    segment_length_mm: float
+
+
+def build_ptl(
+    segments: int = 20,
+    segment_length_mm: float = 0.05,
+    inductance_ph_per_mm: float = 56.0,
+    capacitance_ff_per_mm: float = 1140.0,
+    ic_ua: float = JTL_IC_UA,
+) -> TransmissionLine:
+    """An LC-ladder PTL with a JJ driver and a JJ receiver.
+
+    Default constants give the ~7 ohm characteristic impedance SFQ PTLs
+    use (so the ~0.5 mV SFQ pulse carries enough current to switch the
+    receiver junction) and ~8 ps/mm of nominal flight time — measured
+    ~9.4 ps/mm with the ladder's dispersion included, right next to the
+    architecture model's PTL_DELAY_PS_PER_MM of 10.01.
+    """
+    if segments < 2:
+        raise ValueError("a PTL needs at least two segments")
+    if segment_length_mm <= 0:
+        raise ValueError("segment length must be positive")
+    from repro.jsim.elements import Capacitor
+
+    circuit = Circuit()
+    driver = circuit.node(label="drv")
+    circuit.add_junction(JosephsonJunction(driver, 0, critical_current_ua=ic_ua,
+                                           label="Jdrv"))
+    circuit.add_source(CurrentSource(driver, ramped_bias(JTL_BIAS_FRACTION * ic_ua,
+                                                         BIAS_RAMP_PS), label="bias_drv"))
+    l_seg = inductance_ph_per_mm * segment_length_mm
+    c_seg = capacitance_ff_per_mm * segment_length_mm * 1e-3  # fF -> pF
+    previous = driver
+    for i in range(segments):
+        node = circuit.node(label=f"ptl{i}")
+        circuit.add_inductor(Inductor(previous, node, l_seg, label=f"Lp{i}"))
+        circuit.add_capacitor(Capacitor(node, 0, c_seg, label=f"Cp{i}"))
+        previous = node
+    receiver = circuit.node(label="rcv")
+    circuit.add_inductor(Inductor(previous, receiver, l_seg, label="Lrcv"))
+    circuit.add_junction(JosephsonJunction(receiver, 0, critical_current_ua=ic_ua,
+                                           label="Jrcv"))
+    circuit.add_source(CurrentSource(receiver, ramped_bias(JTL_BIAS_FRACTION * ic_ua,
+                                                           BIAS_RAMP_PS), label="bias_rcv"))
+    return TransmissionLine(
+        circuit=circuit,
+        driver_node=driver,
+        receiver_node=receiver,
+        segments=segments,
+        segment_length_mm=segment_length_mm,
+    )
+
+
+def ptl_delay_ps_per_mm(segments: int = 20, segment_length_mm: float = 0.05) -> float:
+    """Measure a PTL's flight time per millimeter from a transient run."""
+    from repro.jsim.measure import switching_times_ps
+    from repro.jsim.solver import TransientSolver
+
+    ptl = build_ptl(segments, segment_length_mm)
+    ptl.circuit.add_source(
+        CurrentSource(ptl.driver_node, gaussian_pulse(40.0), label="input")
+    )
+    result = TransientSolver(ptl.circuit).run(120.0)
+    sent = switching_times_ps(result, ptl.driver_node)
+    received = switching_times_ps(result, ptl.receiver_node)
+    if not sent or not received:
+        raise RuntimeError("pulse did not traverse the PTL")
+    length_mm = segments * segment_length_mm
+    return (received[0] - sent[0]) / length_mm
+
+
+@dataclass
+class ClockGenerator:
+    """An on-chip SFQ clock source (the "On-chip clock gen." of the paper's
+    Fig. 12(a) die photo): a junction DC-biased above its critical current
+    emits SFQ pulses at the Josephson frequency f = <V> / Phi0, and a short
+    JTL buffers them toward the clock network."""
+
+    circuit: Circuit
+    source_node: int
+    output_node: int
+    bias_ua: float
+
+
+def clock_bias_for_frequency(
+    target_ghz: float,
+    ic_ua: float = JTL_IC_UA,
+    shunt_ohm: float = 4.0,
+) -> float:
+    """DC bias producing ``target_ghz`` pulses from an RSJ-model junction.
+
+    The RSJ voltage-current relation gives <V> = R * sqrt(I^2 - Ic^2), and
+    the Josephson relation f = <V> / Phi0 then fixes the bias:
+    ``I = sqrt(Ic^2 + (f * Phi0 / R)^2)``.
+    """
+    if target_ghz <= 0:
+        raise ValueError("target frequency must be positive")
+    from repro.device.constants import PHI0_MV_PS
+
+    voltage_mv = target_ghz * 1e-3 * PHI0_MV_PS  # f[1/ps] * Phi0[mV*ps]
+    excess_ua = 1000.0 * voltage_mv / shunt_ohm
+    return (ic_ua**2 + excess_ua**2) ** 0.5
+
+
+def build_clock_generator(
+    target_ghz: float = 52.6,
+    buffer_stages: int = 3,
+    ic_ua: float = JTL_IC_UA,
+    bias_ua: float | None = None,
+) -> ClockGenerator:
+    """An overbiased-junction clock source driving a short output JTL.
+
+    ``bias_ua`` overrides the analytic (unloaded) starting bias; use
+    :func:`tune_clock_generator` to find the bias that hits a target
+    frequency with the JTL loading included.
+    """
+    if buffer_stages < 1:
+        raise ValueError("need at least one buffer stage")
+    circuit = Circuit()
+    source = circuit.node(label="osc")
+    bias = bias_ua if bias_ua is not None else clock_bias_for_frequency(target_ghz, ic_ua)
+    circuit.add_junction(
+        JosephsonJunction(source, 0, critical_current_ua=ic_ua, label="Josc")
+    )
+    circuit.add_source(
+        CurrentSource(source, ramped_bias(bias, BIAS_RAMP_PS), label="bias_osc")
+    )
+    previous = source
+    node = source
+    for i in range(buffer_stages):
+        node = circuit.node(label=f"buf{i}")
+        circuit.add_inductor(Inductor(previous, node, JTL_L_PH, label=f"Lb{i}"))
+        circuit.add_junction(
+            JosephsonJunction(node, 0, critical_current_ua=ic_ua, label=f"Jb{i}")
+        )
+        circuit.add_source(
+            CurrentSource(node, ramped_bias(JTL_BIAS_FRACTION * ic_ua, BIAS_RAMP_PS),
+                          label=f"bias_b{i}")
+        )
+        previous = node
+    return ClockGenerator(circuit=circuit, source_node=source,
+                          output_node=node, bias_ua=bias)
+
+
+def clock_generator_frequency_ghz(
+    bias_ua: float,
+    observe_ps: float = 400.0,
+) -> float:
+    """Measure the output pulse rate at a given source bias (0 if quiet)."""
+    from repro.jsim.measure import switching_times_ps
+    from repro.jsim.solver import TransientSolver
+
+    generator = build_clock_generator(bias_ua=bias_ua)
+    result = TransientSolver(generator.circuit).run(BIAS_RAMP_PS + observe_ps)
+    times = [t for t in switching_times_ps(result, generator.output_node)
+             if t > BIAS_RAMP_PS + 40.0]  # skip the bias-ramp transient
+    if len(times) < 5:
+        return 0.0
+    periods = [b - a for a, b in zip(times, times[1:])]
+    return 1e3 / (sum(periods) / len(periods))
+
+
+def tune_clock_generator(
+    target_ghz: float = 52.6,
+    tolerance_ghz: float = 2.0,
+    max_iterations: int = 12,
+) -> "tuple[float, float]":
+    """Find the source bias hitting ``target_ghz`` with loading included.
+
+    The JTL buffer loads the source junction, shifting its oscillation
+    threshold well above the unloaded RSJ prediction — so, like a lab
+    bring-up, the bias is tuned against *measured* frequency: first a
+    coarse upward scan to bracket the target, then bisection.
+
+    Returns ``(bias_ua, measured_ghz)``.
+    """
+    if target_ghz <= 0:
+        raise ValueError("target frequency must be positive")
+    if tolerance_ghz <= 0:
+        raise ValueError("tolerance must be positive")
+    low = clock_bias_for_frequency(target_ghz)
+    high = low
+    high_freq = clock_generator_frequency_ghz(high)
+    for _ in range(max_iterations):
+        if high_freq >= target_ghz:
+            break
+        high *= 1.15
+        high_freq = clock_generator_frequency_ghz(high)
+    else:
+        raise RuntimeError(f"could not reach {target_ghz} GHz by bias scan")
+    for _ in range(max_iterations):
+        if abs(high_freq - target_ghz) <= tolerance_ghz:
+            return high, high_freq
+        mid = 0.5 * (low + high)
+        mid_freq = clock_generator_frequency_ghz(mid)
+        if mid_freq < target_ghz:
+            low = mid
+        else:
+            high, high_freq = mid, mid_freq
+    return high, high_freq
+
+
+@dataclass
+class CoincidenceGate:
+    """A two-input pulse-coincidence element: the analog seed of the SFQ
+    AND gate.  Each input pulse parks a flux quantum next to the output
+    junction; only the *combined* circulating current of both exceeds the
+    (larger) output junction's threshold, so the output fires iff both
+    inputs arrived — the latched-inputs-then-fire behaviour the clocked
+    gate model in :mod:`repro.gatesim` abstracts."""
+
+    circuit: Circuit
+    input_a: int
+    input_b: int
+    output_node: int
+
+
+def build_coincidence_and(
+    ic_in_ua: float = JTL_IC_UA,
+    ic_out_ua: float = 250.0,
+    output_bias_fraction: float = 0.3,
+    coupling_ph: float = 8.0,
+) -> CoincidenceGate:
+    """Two biased input junctions coupled into one high-Ic output junction.
+
+    Calibrated so one input pulse stores but cannot fire the output, while
+    the second input's quantum tips it over (tests exercise the full truth
+    table and the storage window).
+    """
+    circuit = Circuit()
+    input_a = circuit.node(label="a")
+    input_b = circuit.node(label="b")
+    output_node = circuit.node(label="out")
+    for node in (input_a, input_b):
+        circuit.add_junction(
+            JosephsonJunction(node, 0, critical_current_ua=ic_in_ua)
+        )
+        circuit.add_source(
+            CurrentSource(node, ramped_bias(JTL_BIAS_FRACTION * ic_in_ua, BIAS_RAMP_PS))
+        )
+    circuit.add_junction(
+        JosephsonJunction(output_node, 0, critical_current_ua=ic_out_ua, label="Jout")
+    )
+    circuit.add_source(
+        CurrentSource(
+            output_node,
+            ramped_bias(output_bias_fraction * ic_out_ua, BIAS_RAMP_PS),
+        )
+    )
+    circuit.add_inductor(Inductor(input_a, output_node, coupling_ph))
+    circuit.add_inductor(Inductor(input_b, output_node, coupling_ph))
+    return CoincidenceGate(
+        circuit=circuit, input_a=input_a, input_b=input_b, output_node=output_node
+    )

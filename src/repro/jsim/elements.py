@@ -1,0 +1,128 @@
+"""Circuit elements for the RCSJ-model Josephson circuit simulator.
+
+The solver works in *node-phase* formulation: the state of node ``n`` is its
+superconducting phase ``theta_n`` (the time integral of node voltage scaled
+by 2*pi/Phi0) and its rate ``dtheta_n/dt``.  Element currents in this
+formulation (with the repo unit system — ps, mV, uA, pH, ohm, pF):
+
+* Josephson junction (RCSJ model):
+  ``I = Ic*sin(theta) + (PhiBar/R)*dtheta*1000 + C*PhiBar*ddtheta*1000``
+* inductor: ``I = 1000 * PhiBar * theta / L``
+* resistor: ``I = 1000 * PhiBar * dtheta / R``
+* capacitor: ``I = 1000 * C * PhiBar * ddtheta``
+
+where ``PhiBar = Phi0 / (2*pi)`` in mV*ps and ``theta`` is the branch phase
+difference.  Every JJ contributes capacitance to the mass matrix, which is
+what makes the second-order system well-posed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.device.constants import PHI0_BAR_MV_PS
+
+#: Unit-conversion factor: mV / ohm = mA = 1000 uA.
+_MA_TO_UA = 1000.0
+
+
+@dataclass(frozen=True)
+class JosephsonJunction:
+    """A resistively-and-capacitively-shunted Josephson junction.
+
+    Defaults model the AIST 1.0 um Nb process: Ic = 100 uA junctions,
+    externally shunted to about unity Stewart-McCumber parameter.
+    """
+
+    node_plus: int
+    node_minus: int
+    critical_current_ua: float = 100.0
+    shunt_resistance_ohm: float = 4.0
+    capacitance_pf: float = 0.2
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.critical_current_ua <= 0:
+            raise ValueError("critical current must be positive")
+        if self.shunt_resistance_ohm <= 0:
+            raise ValueError("shunt resistance must be positive")
+        if self.capacitance_pf <= 0:
+            raise ValueError("junction capacitance must be positive")
+
+    @property
+    def stewart_mccumber(self) -> float:
+        """Damping parameter beta_c = 2*pi*Ic*R^2*C / Phi0 (dimensionless)."""
+        ic_a = self.critical_current_ua * 1e-6
+        c_f = self.capacitance_pf * 1e-12
+        phi0 = 2.067833848e-15
+        return 2.0 * 3.141592653589793 * ic_a * self.shunt_resistance_ohm**2 * c_f / phi0
+
+    def supercurrent_ua(self, branch_phase: float) -> float:
+        import math
+
+        return self.critical_current_ua * math.sin(branch_phase)
+
+    def normal_current_ua(self, branch_phase_rate: float) -> float:
+        return _MA_TO_UA * PHI0_BAR_MV_PS * branch_phase_rate / self.shunt_resistance_ohm
+
+    def capacitive_coefficient(self) -> float:
+        """Coefficient of ``ddtheta`` in the branch current (uA*ps^2)."""
+        return _MA_TO_UA * self.capacitance_pf * PHI0_BAR_MV_PS
+
+
+@dataclass(frozen=True)
+class Inductor:
+    node_plus: int
+    node_minus: int
+    inductance_ph: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.inductance_ph <= 0:
+            raise ValueError("inductance must be positive")
+
+    def current_ua(self, branch_phase: float) -> float:
+        return _MA_TO_UA * PHI0_BAR_MV_PS * branch_phase / self.inductance_ph
+
+
+@dataclass(frozen=True)
+class Resistor:
+    node_plus: int
+    node_minus: int
+    resistance_ohm: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm <= 0:
+            raise ValueError("resistance must be positive")
+
+    def current_ua(self, branch_phase_rate: float) -> float:
+        return _MA_TO_UA * PHI0_BAR_MV_PS * branch_phase_rate / self.resistance_ohm
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    node_plus: int
+    node_minus: int
+    capacitance_pf: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacitance_pf <= 0:
+            raise ValueError("capacitance must be positive")
+
+    def capacitive_coefficient(self) -> float:
+        return _MA_TO_UA * self.capacitance_pf * PHI0_BAR_MV_PS
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Current injected *into* ``node`` as a function of time (uA)."""
+
+    node: int
+    waveform: Callable[[float], float]
+    label: str = ""
+
+    def current_ua(self, time_ps: float) -> float:
+        return self.waveform(time_ps)

@@ -1,0 +1,139 @@
+"""Gate-parameter extraction from transient runs (paper Section IV-A1).
+
+The paper's gate-level estimation layer "extracts all gate parameters by
+running JSIM simulations" — propagation delays, SetupTime/HoldTime, and
+operating margins.  This module reproduces that methodology on the RCSJ
+simulator:
+
+* :func:`extract_jtl_delay_ps` — per-stage wire delay (calibrates the cell
+  library's ``DEFAULT_WIRE_DELAY_PS``).
+* :func:`extract_setup_time_ps` — minimum data-before-clock separation for
+  the storage loop to release its quantum (bisection over separation).
+* :func:`bias_margins` — the DC-bias operating window of a circuit, the
+  standard SFQ robustness metric (wide margins = fabricable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.jsim.circuits import build_jtl, build_storage_loop, drive_jtl
+from repro.jsim.elements import CurrentSource
+from repro.jsim.measure import switch_count, switching_times_ps
+from repro.jsim.solver import TransientSolver
+from repro.jsim.stimuli import gaussian_pulse
+
+
+def extract_jtl_delay_ps(stages: int = 8, settle_ps: float = 40.0) -> float:
+    """Per-stage JTL propagation delay from a transient run."""
+    jtl = build_jtl(stages)
+    drive_jtl(jtl, pulse_time_ps=settle_ps)
+    result = TransientSolver(jtl.circuit).run(settle_ps + 40.0)
+    first = switching_times_ps(result, jtl.nodes[0])
+    last = switching_times_ps(result, jtl.nodes[-1])
+    if not first or not last:
+        raise RuntimeError("test pulse did not traverse the JTL")
+    return (last[0] - first[0]) / (stages - 1)
+
+
+def _storage_loop_operates(separation_ps: float, clock_time_ps: float = 70.0) -> bool:
+    """Does a storage loop clocked ``separation_ps`` after the data pulse
+    release exactly one output quantum?"""
+    loop = build_storage_loop()
+    data_time = clock_time_ps - separation_ps
+    loop.circuit.add_source(CurrentSource(loop.input_node, gaussian_pulse(data_time), "d"))
+    loop.circuit.add_source(
+        CurrentSource(loop.output_node, gaussian_pulse(clock_time_ps), "clk")
+    )
+    result = TransientSolver(loop.circuit).run(clock_time_ps + 25.0)
+    released = switching_times_ps(result, loop.output_node)
+    # Correct operation: exactly one release, at (or after) the clock.
+    return len(released) == 1 and released[0] >= clock_time_ps - 3.0
+
+
+def extract_setup_time_ps(
+    resolution_ps: float = 0.25,
+    max_separation_ps: float = 12.0,
+) -> float:
+    """Minimum data-to-clock separation for correct DFF operation.
+
+    Bisects the largest failing separation / smallest passing separation,
+    i.e. the circuit-level SetupTime the cell library abstracts.
+    """
+    if resolution_ps <= 0:
+        raise ValueError("resolution must be positive")
+    low, high = 0.0, max_separation_ps
+    if not _storage_loop_operates(high):
+        raise RuntimeError("storage loop fails even at maximum separation")
+    while high - low > resolution_ps:
+        mid = 0.5 * (low + high)
+        if _storage_loop_operates(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass(frozen=True)
+class MarginReport:
+    """DC-bias operating window of a circuit."""
+
+    nominal_fraction: float
+    low_fraction: float
+    high_fraction: float
+
+    @property
+    def width(self) -> float:
+        return self.high_fraction - self.low_fraction
+
+    @property
+    def plus_minus_percent(self) -> Tuple[float, float]:
+        """Margins as +/-% of nominal, the conventional SFQ report format."""
+        low = 100.0 * (self.low_fraction - self.nominal_fraction) / self.nominal_fraction
+        high = 100.0 * (self.high_fraction - self.nominal_fraction) / self.nominal_fraction
+        return (low, high)
+
+
+def _jtl_operates(bias_fraction: float, stages: int = 6) -> bool:
+    """One pulse in, exactly one pulse out at every stage, no spontaneous
+    switching beforehand."""
+    try:
+        jtl = build_jtl(stages, bias_fraction=bias_fraction)
+    except ValueError:
+        return False
+    drive_jtl(jtl, pulse_time_ps=40.0)
+    result = TransientSolver(jtl.circuit).run(80.0)
+    return all(switch_count(result, node) == 1 for node in jtl.nodes)
+
+
+def bias_margins(
+    operates: Callable[[float], bool] | None = None,
+    nominal_fraction: float = 0.7,
+    resolution: float = 0.01,
+) -> MarginReport:
+    """Find the bias window over which a circuit operates correctly.
+
+    ``operates`` maps a bias fraction (of Ic) to pass/fail; defaults to the
+    JTL single-fluxon criterion.  The window is located by bisection from
+    the nominal point outward.
+    """
+    if operates is None:
+        operates = _jtl_operates
+    if not operates(nominal_fraction):
+        raise RuntimeError(f"circuit fails at nominal bias {nominal_fraction}")
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+
+    def edge(inside: float, outside: float) -> float:
+        while abs(outside - inside) > resolution:
+            mid = 0.5 * (inside + outside)
+            if operates(mid):
+                inside = mid
+            else:
+                outside = mid
+        return inside
+
+    low = edge(nominal_fraction, 0.0)
+    high = edge(nominal_fraction, 0.999)
+    return MarginReport(nominal_fraction, low, high)

@@ -1,0 +1,75 @@
+"""Measurement helpers: SFQ switching detection and delay extraction.
+
+A junction "switches" (emits an SFQ pulse) when its branch phase slips by
+2*pi.  Switch times let us measure JTL propagation delays and check storage
+behaviour, the same quantities the paper extracts from JSIM runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.jsim.solver import TransientResult
+
+
+def switching_times_ps(
+    result: TransientResult,
+    node_plus: int,
+    node_minus: int = 0,
+    threshold: float = math.pi,
+) -> List[float]:
+    """Times at which the branch phase crosses successive 2*pi slips.
+
+    The k-th switching event is detected when the phase passes
+    ``threshold + 2*pi*k`` (threshold defaults to pi, the unstable maximum
+    of the junction potential).
+    """
+    phase = result.junction_phase(node_plus, node_minus)
+    times: List[float] = []
+    level = threshold
+    for i in range(1, len(phase)):
+        while phase[i] >= level and phase[i - 1] < level:
+            # Linear interpolation inside the sample interval.
+            frac = (level - phase[i - 1]) / (phase[i] - phase[i - 1])
+            t = result.time_ps[i - 1] + frac * (
+                result.time_ps[i] - result.time_ps[i - 1]
+            )
+            times.append(float(t))
+            level += 2.0 * math.pi
+    return times
+
+
+def switch_count(result: TransientResult, node_plus: int, node_minus: int = 0) -> int:
+    """Number of complete 2*pi phase slips of a branch."""
+    phase = result.junction_phase(node_plus, node_minus)
+    return int(math.floor((phase[-1] - phase[0] + math.pi) / (2.0 * math.pi)))
+
+
+def propagation_delay_ps(
+    result: TransientResult,
+    from_node: int,
+    to_node: int,
+    event: int = 0,
+) -> float:
+    """Delay of the ``event``-th SFQ pulse between two junctions' nodes."""
+    start = switching_times_ps(result, from_node)
+    end = switching_times_ps(result, to_node)
+    if len(start) <= event or len(end) <= event:
+        raise ValueError(
+            f"pulse event {event} not observed at both nodes "
+            f"(got {len(start)} and {len(end)} switchings)"
+        )
+    return end[event] - start[event]
+
+
+def stored_flux_quanta(result: TransientResult, node_plus: int, node_minus: int = 0) -> int:
+    """Flux quanta held in a loop at the end of the run (rounded)."""
+    phase = result.junction_phase(node_plus, node_minus)
+    return int(round((phase[-1] - phase[0]) / (2.0 * math.pi)))
+
+
+def peak_voltage_mv(result: TransientResult, node: int) -> float:
+    return float(np.max(np.abs(result.node_voltage_mv(node))))

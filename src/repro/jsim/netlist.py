@@ -1,0 +1,123 @@
+"""Netlist container for Josephson circuits.
+
+Node 0 is ground (phase pinned to zero).  The circuit tracks elements and
+hands the solver the structural matrices it needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.jsim.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    JosephsonJunction,
+    Resistor,
+)
+
+GROUND = 0
+
+
+class Circuit:
+    """A Josephson circuit netlist under node-phase formulation."""
+
+    def __init__(self) -> None:
+        self._num_nodes = 1  # ground
+        self.junctions: List[JosephsonJunction] = []
+        self.inductors: List[Inductor] = []
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.sources: List[CurrentSource] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- Construction --------------------------------------------------------
+
+    def node(self, label: str | None = None) -> int:
+        """Allocate a new node; optionally give it a findable label."""
+        index = self._num_nodes
+        self._num_nodes += 1
+        if label is not None:
+            if label in self._labels:
+                raise ValueError(f"duplicate node label {label!r}")
+            self._labels[label] = index
+        return index
+
+    def labeled(self, label: str) -> int:
+        try:
+            return self._labels[label]
+        except KeyError:
+            raise KeyError(f"no node labeled {label!r}") from None
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(f"node {node} not allocated (have {self._num_nodes})")
+
+    def add_junction(self, junction: JosephsonJunction) -> JosephsonJunction:
+        self._check_node(junction.node_plus)
+        self._check_node(junction.node_minus)
+        self.junctions.append(junction)
+        return junction
+
+    def add_inductor(self, inductor: Inductor) -> Inductor:
+        self._check_node(inductor.node_plus)
+        self._check_node(inductor.node_minus)
+        self.inductors.append(inductor)
+        return inductor
+
+    def add_resistor(self, resistor: Resistor) -> Resistor:
+        self._check_node(resistor.node_plus)
+        self._check_node(resistor.node_minus)
+        self.resistors.append(resistor)
+        return resistor
+
+    def add_capacitor(self, capacitor: Capacitor) -> Capacitor:
+        self._check_node(capacitor.node_plus)
+        self._check_node(capacitor.node_minus)
+        self.capacitors.append(capacitor)
+        return capacitor
+
+    def add_source(self, source: CurrentSource) -> CurrentSource:
+        self._check_node(source.node)
+        self.sources.append(source)
+        return source
+
+    def add_bias(self, node: int, current_ua: float, label: str = "") -> CurrentSource:
+        """Constant DC bias current into ``node``."""
+        return self.add_source(CurrentSource(node, lambda _t: current_ua, label=label))
+
+    # -- Structure for the solver ---------------------------------------------
+
+    def mass_matrix(self, parasitic_pf: float = 1e-3) -> np.ndarray:
+        """Capacitance ("mass") matrix over non-ground nodes.
+
+        A tiny parasitic capacitance to ground keeps the matrix invertible
+        for nodes that have no junction attached.
+        """
+        n = self._num_nodes - 1
+        mass = np.zeros((n, n))
+        coeffs = [
+            (j.node_plus, j.node_minus, j.capacitive_coefficient()) for j in self.junctions
+        ] + [
+            (c.node_plus, c.node_minus, c.capacitive_coefficient()) for c in self.capacitors
+        ]
+        for node_plus, node_minus, coeff in coeffs:
+            for a, b, sign in (
+                (node_plus, node_plus, 1.0),
+                (node_minus, node_minus, 1.0),
+                (node_plus, node_minus, -1.0),
+                (node_minus, node_plus, -1.0),
+            ):
+                if a > 0 and b > 0:
+                    mass[a - 1, b - 1] += sign * coeff
+        from repro.device.constants import PHI0_BAR_MV_PS
+
+        parasitic = 1000.0 * parasitic_pf * PHI0_BAR_MV_PS
+        mass[np.diag_indices(n)] += parasitic
+        return mass

@@ -1,0 +1,169 @@
+"""SPICE-deck style netlist parsing and serialization (JSIM interop).
+
+JSIM consumes SPICE-like decks; this module reads and writes a compatible
+subset so circuits can be exchanged as text:
+
+```
+* comment
+B1  1 0  ic=100 rshunt=4 cap=0.2     ; Josephson junction
+L1  1 2  6.0                         ; inductor (pH)
+R1  2 0  4.0                         ; resistor (ohm)
+C1  2 0  0.1                         ; capacitor (pF)
+IB1 1 0  dc 70                       ; DC bias source (uA)
+IP1 1 0  pulse 40 300 1              ; Gaussian pulse: t0, amp, sigma
+.end
+```
+
+Node names may be arbitrary identifiers; ``0`` (or ``gnd``) is ground.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.jsim.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    JosephsonJunction,
+    Resistor,
+)
+from repro.jsim.netlist import Circuit
+from repro.jsim.stimuli import gaussian_pulse
+
+GROUND_NAMES = {"0", "gnd", "GND"}
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlist text."""
+
+
+def _tokenize(text: str) -> List[Tuple[int, List[str]]]:
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.lower() == ".end":
+            break
+        lines.append((number, line.split()))
+    return lines
+
+
+def parse_netlist(text: str) -> "Tuple[Circuit, Dict[str, int]]":
+    """Parse a deck into a :class:`Circuit`; returns (circuit, node map)."""
+    circuit = Circuit()
+    nodes: Dict[str, int] = {}
+
+    def node_of(name: str) -> int:
+        if name in GROUND_NAMES:
+            return 0
+        if name not in nodes:
+            nodes[name] = circuit.node(label=name)
+        return nodes[name]
+
+    for number, tokens in _tokenize(text):
+        label = tokens[0]
+        kind = label[0].upper()
+        try:
+            if kind == "B":
+                plus, minus = node_of(tokens[1]), node_of(tokens[2])
+                params = _keyword_params(tokens[3:])
+                circuit.add_junction(
+                    JosephsonJunction(
+                        plus,
+                        minus,
+                        critical_current_ua=params.get("ic", 100.0),
+                        shunt_resistance_ohm=params.get("rshunt", 4.0),
+                        capacitance_pf=params.get("cap", 0.2),
+                        label=label,
+                    )
+                )
+            elif kind == "L":
+                circuit.add_inductor(
+                    Inductor(node_of(tokens[1]), node_of(tokens[2]),
+                             float(tokens[3]), label=label)
+                )
+            elif kind == "R":
+                circuit.add_resistor(
+                    Resistor(node_of(tokens[1]), node_of(tokens[2]),
+                             float(tokens[3]), label=label)
+                )
+            elif kind == "C":
+                circuit.add_capacitor(
+                    Capacitor(node_of(tokens[1]), node_of(tokens[2]),
+                              float(tokens[3]), label=label)
+                )
+            elif kind == "I":
+                _parse_source(circuit, node_of, tokens, label)
+            else:
+                raise NetlistError(f"line {number}: unknown element {label!r}")
+        except (IndexError, ValueError) as error:
+            if isinstance(error, NetlistError):
+                raise
+            raise NetlistError(f"line {number}: {error}") from error
+    return circuit, nodes
+
+
+def _keyword_params(tokens: List[str]) -> Dict[str, float]:
+    params: Dict[str, float] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise NetlistError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        params[key.lower()] = float(value)
+    return params
+
+
+def _parse_source(circuit: Circuit, node_of, tokens: List[str], label: str) -> None:
+    plus = node_of(tokens[1])
+    # tokens[2] is the return node (ground by convention); accepted, unused.
+    node_of(tokens[2])
+    mode = tokens[3].lower()
+    if mode == "dc":
+        level = float(tokens[4])
+        circuit.add_source(CurrentSource(plus, lambda _t, level=level: level, label=label))
+    elif mode == "pulse":
+        t0, amplitude, sigma = (float(v) for v in tokens[4:7])
+        circuit.add_source(
+            CurrentSource(plus, gaussian_pulse(t0, amplitude, sigma), label=label)
+        )
+    else:
+        raise NetlistError(f"unknown source mode {mode!r}")
+
+
+def serialize_netlist(circuit: Circuit, title: str = "repro circuit") -> str:
+    """Render a circuit back into deck text (sources become DC stubs).
+
+    Arbitrary Python waveforms cannot round-trip; constant sources are
+    sampled at t=0 and emitted as ``dc`` lines, which covers bias networks
+    (the common exchange case).
+    """
+    lines = [f"* {title}"]
+    for index, jj in enumerate(circuit.junctions, start=1):
+        label = jj.label or f"B{index}"
+        lines.append(
+            f"{label} {jj.node_plus} {jj.node_minus} "
+            f"ic={jj.critical_current_ua:g} rshunt={jj.shunt_resistance_ohm:g} "
+            f"cap={jj.capacitance_pf:g}"
+        )
+    for index, element in enumerate(circuit.inductors, start=1):
+        label = element.label or f"L{index}"
+        lines.append(
+            f"{label} {element.node_plus} {element.node_minus} {element.inductance_ph:g}"
+        )
+    for index, element in enumerate(circuit.resistors, start=1):
+        label = element.label or f"R{index}"
+        lines.append(
+            f"{label} {element.node_plus} {element.node_minus} {element.resistance_ohm:g}"
+        )
+    for index, element in enumerate(circuit.capacitors, start=1):
+        label = element.label or f"C{index}"
+        lines.append(
+            f"{label} {element.node_plus} {element.node_minus} {element.capacitance_pf:g}"
+        )
+    for index, source in enumerate(circuit.sources, start=1):
+        label = source.label or f"I{index}"
+        lines.append(f"{label} {source.node} 0 dc {source.current_ua(0.0):g}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

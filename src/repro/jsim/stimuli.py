@@ -1,0 +1,59 @@
+"""Stimulus waveforms: SFQ trigger pulses and DC bias ramps."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+def gaussian_pulse(
+    center_ps: float,
+    amplitude_ua: float = 300.0,
+    sigma_ps: float = 1.0,
+) -> Callable[[float], float]:
+    """A short current pulse that nudges a junction over its critical
+    current, launching one SFQ pulse into the circuit."""
+    if amplitude_ua <= 0 or sigma_ps <= 0:
+        raise ValueError("pulse amplitude and width must be positive")
+
+    def waveform(t: float) -> float:
+        x = (t - center_ps) / sigma_ps
+        return amplitude_ua * math.exp(-0.5 * x * x)
+
+    return waveform
+
+
+def pulse_train(
+    start_ps: float,
+    period_ps: float,
+    count: int,
+    amplitude_ua: float = 300.0,
+    sigma_ps: float = 1.0,
+) -> Callable[[float], float]:
+    """``count`` Gaussian pulses spaced ``period_ps`` apart (a clock)."""
+    if count < 1:
+        raise ValueError("need at least one pulse")
+    if period_ps <= 0:
+        raise ValueError("period must be positive")
+    pulses = [
+        gaussian_pulse(start_ps + i * period_ps, amplitude_ua, sigma_ps)
+        for i in range(count)
+    ]
+
+    def waveform(t: float) -> float:
+        return sum(p(t) for p in pulses)
+
+    return waveform
+
+
+def ramped_bias(level_ua: float, ramp_ps: float = 20.0) -> Callable[[float], float]:
+    """DC bias ramped up over ``ramp_ps`` to avoid a startup transient."""
+    if ramp_ps <= 0:
+        raise ValueError("ramp time must be positive")
+
+    def waveform(t: float) -> float:
+        if t >= ramp_ps:
+            return level_ua
+        return level_ua * t / ramp_ps
+
+    return waveform

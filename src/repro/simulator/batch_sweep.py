@@ -1,0 +1,81 @@
+"""Throughput-vs-batch analysis.
+
+Section V-A3's insight is that batch size *is* computational intensity for
+a weight-stationary NPU; this module produces the full curve — throughput
+and latency at every batch — and locates the knee where the design stops
+being preparation/memory-bound, which is what Table II's "maximum
+resident batch" policy exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.device.cells import CellLibrary
+from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.simulator.engine import simulate
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One point of the throughput/latency-vs-batch curve."""
+
+    batch: int
+    mac_per_s: float
+    latency_s: float
+
+    @property
+    def tmacs(self) -> float:
+        return self.mac_per_s / 1e12
+
+    @property
+    def latency_per_image_s(self) -> float:
+        return self.latency_s / self.batch
+
+
+def batch_sweep(
+    config: NPUConfig,
+    network: Network,
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 30),
+    estimate: Optional[NPUEstimate] = None,
+    library: Optional[CellLibrary] = None,
+) -> List[BatchPoint]:
+    """Simulate ``network`` at each batch size."""
+    if not batches:
+        raise ValueError("need at least one batch size")
+    if any(b < 1 for b in batches):
+        raise ValueError("batch sizes must be positive")
+    if estimate is None:
+        if library is None:
+            from repro.device.cells import rsfq_library
+
+            library = rsfq_library()
+        estimate = estimate_npu(config, library)
+    points = []
+    for batch in batches:
+        run = simulate(config, network, batch=batch, estimate=estimate)
+        points.append(BatchPoint(batch=batch, mac_per_s=run.mac_per_s,
+                                 latency_s=run.latency_s))
+    return points
+
+
+def knee_batch(points: List[BatchPoint], threshold: float = 0.10) -> int:
+    """Smallest batch whose next doubling gains under ``threshold``.
+
+    The "knee" of the throughput curve: past it, extra batch buys little
+    throughput while still costing per-batch latency.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must lie in (0, 1)")
+    ordered = sorted(points, key=lambda p: p.batch)
+    for current, following in zip(ordered, ordered[1:]):
+        gain = following.mac_per_s / current.mac_per_s - 1.0
+        scale = following.batch / current.batch - 1.0
+        if scale > 0 and gain / scale < threshold:
+            return current.batch
+    return ordered[-1].batch

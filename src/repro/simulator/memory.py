@@ -1,0 +1,43 @@
+"""Off-chip memory model (Section IV-B: "models the memory stall incurred
+by limited memory bandwidth by taking memory bandwidth as its input").
+
+The 4 K environment has no practical JJ-based main memory (Section II-B4),
+so the NPU talks to room-temperature CMOS DRAM; the paper abstracts it as a
+flat bandwidth (300 GB/s, the TPUv2 HBM figure).  We model a DMA engine
+that overlaps transfers with on-chip work: a layer's wall-clock cycles are
+``max(on_chip_cycles, traffic / bytes_per_cycle)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """A bandwidth-limited off-chip memory attached to an NPU clock."""
+
+    bandwidth_gbps: float
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("clock frequency must be positive")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes deliverable per NPU clock cycle.
+
+        At 52.6 GHz and 300 GB/s this is only ~5.7 B/cycle — the number
+        that makes the SFQ NPU's compute units starve (Fig. 17).
+        """
+        return self.bandwidth_gbps * 1e9 / (self.frequency_ghz * 1e9)
+
+    def transfer_cycles(self, num_bytes: float) -> int:
+        """NPU cycles needed to move ``num_bytes`` at full bandwidth."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return math.ceil(num_bytes / self.bytes_per_cycle)

@@ -1,0 +1,69 @@
+"""Power aggregation: static + activity-driven dynamic power (Section IV-B).
+
+Static power comes straight from the estimator (bias dissipation of every
+gate; zero under ERSFQ).  Dynamic power multiplies each unit's
+fully-active per-cycle energy by the effective active cycles the simulator
+recorded and by a data-activity factor (on average about half the bit
+lanes carry a pulse in any cycle — the clock tree, which fires every
+active cycle, is already part of each cell's access energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.estimator.arch_level import NPUEstimate
+from repro.simulator.results import SimulationResult
+
+#: Average fraction of bit lanes carrying a data pulse in an active cycle.
+DATA_ACTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Chip power of one simulated run."""
+
+    design: str
+    network: str
+    technology: str
+    static_w: float
+    dynamic_w: float
+    dynamic_by_unit: Dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_w
+
+
+def power_report(
+    sim: SimulationResult,
+    estimate: NPUEstimate,
+    data_activity: float = DATA_ACTIVITY,
+) -> PowerReport:
+    """Combine simulated activity with estimator energies into chip power."""
+    if not 0.0 <= data_activity <= 1.0:
+        raise ValueError("data activity must lie in [0, 1]")
+    runtime_s = sim.latency_s
+    dynamic_by_unit: Dict[str, float] = {}
+    total_dynamic = 0.0
+    for unit_name, effective_cycles in sim.activity.effective_cycles.items():
+        if unit_name not in estimate.units:
+            continue
+        unit = estimate.units[unit_name]
+        # Clocked gates fire on every clock pulse while the unit is active;
+        # wire cells only switch when a data pulse actually passes.
+        joules = effective_cycles * (
+            unit.access_energy_clocked_j + unit.access_energy_wire_j * data_activity
+        )
+        watts = joules / runtime_s if runtime_s > 0 else 0.0
+        dynamic_by_unit[unit_name] = watts
+        total_dynamic += watts
+    return PowerReport(
+        design=sim.design,
+        network=sim.network,
+        technology=estimate.technology,
+        static_w=estimate.static_power_w,
+        dynamic_w=total_dynamic,
+        dynamic_by_unit=dynamic_by_unit,
+    )

@@ -1,0 +1,122 @@
+"""Result records produced by the cycle-level NPU simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class LayerResult:
+    """Cycle accounting for one layer (all weight mappings, full batch)."""
+
+    name: str
+    mappings: int
+    weight_load_cycles: int
+    ifmap_prep_cycles: int
+    psum_move_cycles: int
+    activation_transfer_cycles: int
+    compute_cycles: int
+    dram_traffic_bytes: int
+    dram_cycles: int
+    total_cycles: int
+    macs: int
+
+    @property
+    def preparation_cycles(self) -> int:
+        """The paper's "preparation" bucket (Fig. 15): everything that moves
+        data into place before/around computation."""
+        return (
+            self.weight_load_cycles
+            + self.ifmap_prep_cycles
+            + self.psum_move_cycles
+            + self.activation_transfer_cycles
+        )
+
+    @property
+    def memory_stall_cycles(self) -> int:
+        """Cycles added because DRAM could not keep up."""
+        return max(0, self.total_cycles - self.preparation_cycles - self.compute_cycles)
+
+
+@dataclass
+class ActivityTrace:
+    """Per-unit effective fully-active cycle counts (for dynamic power)."""
+
+    effective_cycles: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, unit: str, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError("activity cycles must be non-negative")
+        self.effective_cycles[unit] = self.effective_cycles.get(unit, 0.0) + cycles
+
+
+@dataclass
+class SimulationResult:
+    """Whole-network simulation outcome for one design point."""
+
+    design: str
+    network: str
+    batch: int
+    frequency_ghz: float
+    layers: List[LayerResult]
+    activity: ActivityTrace
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def preparation_cycles(self) -> int:
+        return sum(layer.preparation_cycles for layer in self.layers)
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(layer.compute_cycles for layer in self.layers)
+
+    @property
+    def memory_stall_cycles(self) -> int:
+        return sum(layer.memory_stall_cycles for layer in self.layers)
+
+    @property
+    def latency_s(self) -> float:
+        """Wall-clock time to process the batch."""
+        return self.total_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def mac_per_s(self) -> float:
+        """Effective throughput in MAC/s."""
+        if self.latency_s == 0:
+            return 0.0
+        return self.total_macs / self.latency_s
+
+    @property
+    def tmacs(self) -> float:
+        return self.mac_per_s / 1e12
+
+    @property
+    def images_per_s(self) -> float:
+        if self.latency_s == 0:
+            return 0.0
+        return self.batch / self.latency_s
+
+    def pe_utilization(self, peak_mac_per_s: float) -> float:
+        """Effective / peak throughput (the paper's PE utilization)."""
+        if peak_mac_per_s <= 0:
+            raise ValueError("peak throughput must be positive")
+        return self.mac_per_s / peak_mac_per_s
+
+    def cycle_breakdown(self) -> Dict[str, float]:
+        """Normalized preparation / computation / memory split (Fig. 15)."""
+        total = self.total_cycles
+        if total == 0:
+            return {"preparation": 0.0, "computation": 0.0, "memory": 0.0}
+        return {
+            "preparation": self.preparation_cycles / total,
+            "computation": self.compute_cycles / total,
+            "memory": self.memory_stall_cycles / total,
+        }

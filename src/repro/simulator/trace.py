@@ -1,0 +1,186 @@
+"""Event-level execution traces (SCALE-SIM-style inspection output).
+
+Expands one layer's cycle accounting into an ordered timeline of phases —
+weight load, ifmap rewind, computation, psum movement — per weight
+mapping, so the Fig. 15/16 data-movement story can be inspected mapping by
+mapping (and exported as CSV for plotting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.simulator.mapping import map_layer
+from repro.simulator.memory import MemoryModel
+from repro.uarch.buffers import ShiftRegisterBuffer
+from repro.uarch.config import NPUConfig
+from repro.uarch.pe import ProcessingElement
+from repro.workloads.layers import ConvLayer
+
+#: Phase names in the order they occur within one mapping.
+PHASES = ("weight_load", "ifmap_rewind", "compute", "psum_move")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One contiguous phase of one weight mapping."""
+
+    mapping_index: int
+    phase: str
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def duration(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}")
+        if self.end_cycle < self.start_cycle:
+            raise ValueError("event must not end before it starts")
+
+
+def trace_layer(
+    layer: ConvLayer,
+    config: NPUConfig,
+    batch: int = 1,
+    estimate: Optional[NPUEstimate] = None,
+) -> List[TraceEvent]:
+    """The serialized phase timeline of one layer's weight mappings.
+
+    Mirrors the engine's cycle charges exactly (weight fill, rewind before
+    every mapping after the first, compute, psum movement after
+    accumulating tiles); the last event's ``end_cycle`` equals the layer's
+    on-chip cycle count.
+    """
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    mapping = map_layer(layer, config)
+    ifmap_buffer = ShiftRegisterBuffer(
+        config.ifmap_buffer_bytes,
+        io_width=config.pe_array_height,
+        entry_bits=config.data_bits,
+        division=config.ifmap_division,
+    )
+    psum_move = 0
+    if not config.integrated_output_buffer:
+        output_buffer = ShiftRegisterBuffer(
+            config.output_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+            division=config.output_division,
+        )
+        psum_buffer = ShiftRegisterBuffer(
+            config.psum_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+            division=config.output_division,
+        )
+        psum_move = psum_buffer.chunk_length_entries + output_buffer.chunk_length_entries
+    pe_stages = ProcessingElement(
+        bits=config.data_bits,
+        psum_bits=config.psum_bits,
+        registers=config.registers_per_pe,
+    ).pipeline_stages
+
+    vectors = layer.output_pixels * batch
+    events: List[TraceEvent] = []
+    cycle = 0
+    index = 0
+    for tile in mapping.tiles:
+        for _ in range(tile.count):
+            load = tile.rows_used * tile.regs_used + tile.cols_used
+            events.append(TraceEvent(index, "weight_load", cycle, cycle + load))
+            cycle += load
+            if index > 0:
+                rewind = ifmap_buffer.rewind_cycles()
+                events.append(TraceEvent(index, "ifmap_rewind", cycle, cycle + rewind))
+                cycle += rewind
+            compute = vectors * tile.regs_used + tile.rows_used + tile.cols_used + pe_stages
+            events.append(TraceEvent(index, "compute", cycle, cycle + compute))
+            cycle += compute
+            if tile.accumulates and psum_move:
+                events.append(TraceEvent(index, "psum_move", cycle, cycle + psum_move))
+                cycle += psum_move
+            index += 1
+    return events
+
+
+def trace_summary(events: List[TraceEvent]) -> dict:
+    """Total cycles per phase (the Fig. 15 buckets, mapping-resolved)."""
+    summary = {phase: 0 for phase in PHASES}
+    for event in events:
+        summary[event.phase] += event.duration
+    summary["total"] = 0 if not events else events[-1].end_cycle
+    return summary
+
+
+def trace_to_csv(events: List[TraceEvent]) -> str:
+    """Render a trace as CSV text."""
+    lines = ["mapping,phase,start_cycle,end_cycle,duration"]
+    for event in events:
+        lines.append(
+            f"{event.mapping_index},{event.phase},"
+            f"{event.start_cycle},{event.end_cycle},{event.duration}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def verify_against_engine(
+    layer: ConvLayer,
+    config: NPUConfig,
+    batch: int = 1,
+) -> bool:
+    """The trace's phase totals must equal the engine's cycle charges."""
+    from repro.simulator.engine import simulate_layer
+    from repro.simulator.results import ActivityTrace
+    from repro.uarch.buffers import IntegratedOutputBuffer
+
+    estimate = estimate_npu(config, _default_library())
+    memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+    ifmap_buffer = ShiftRegisterBuffer(
+        config.ifmap_buffer_bytes,
+        io_width=config.pe_array_height,
+        entry_bits=config.data_bits,
+        division=config.ifmap_division,
+    )
+    buffer_cls = IntegratedOutputBuffer if config.integrated_output_buffer else ShiftRegisterBuffer
+    output_buffer = buffer_cls(
+        config.output_buffer_bytes,
+        io_width=config.pe_array_width,
+        entry_bits=config.data_bits,
+        division=config.output_division,
+    )
+    psum_buffer = None
+    if not config.integrated_output_buffer:
+        psum_buffer = ShiftRegisterBuffer(
+            config.psum_buffer_bytes,
+            io_width=config.pe_array_width,
+            entry_bits=config.data_bits,
+            division=config.output_division,
+        )
+    pe = ProcessingElement(
+        bits=config.data_bits,
+        psum_bits=config.psum_bits,
+        registers=config.registers_per_pe,
+    )
+    result, _ = simulate_layer(
+        layer, config, batch, memory, ifmap_buffer, output_buffer, psum_buffer,
+        pe, ActivityTrace(), input_resident=True, is_last_layer=True,
+    )
+    summary = trace_summary(trace_layer(layer, config, batch))
+    return (
+        summary["weight_load"] == result.weight_load_cycles
+        and summary["ifmap_rewind"] == result.ifmap_prep_cycles
+        and summary["compute"] == result.compute_cycles
+        and summary["psum_move"] == result.psum_move_cycles
+    )
+
+
+def _default_library():
+    from repro.device.cells import rsfq_library
+
+    return rsfq_library()

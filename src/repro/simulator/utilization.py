@@ -1,0 +1,61 @@
+"""Per-unit utilization report.
+
+The paper's bottleneck analysis (Section V-A) is a utilization story: fast
+PEs idling behind buffer shifts and memory.  This module turns a
+simulation's activity trace into per-unit utilization percentages so that
+story can be read off any run directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.simulator.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Effective-active share of total cycles, per unit."""
+
+    design: str
+    network: str
+    total_cycles: int
+    per_unit: Dict[str, float]
+
+    @property
+    def pe_utilization(self) -> float:
+        return self.per_unit.get("pe_array", 0.0)
+
+    def busiest_unit(self) -> str:
+        if not self.per_unit:
+            raise ValueError("no activity recorded")
+        return max(self.per_unit, key=self.per_unit.get)
+
+
+def utilization_report(run: SimulationResult) -> UtilizationReport:
+    """Per-unit effective utilization of a finished run.
+
+    A unit's utilization is its effective fully-active cycles over the
+    run's total cycles; the PE array's value equals the paper's "PE
+    utilization" (effective / peak throughput) by construction, since the
+    simulator credits it one effective cycle per ``num_pes`` MACs.
+    """
+    total = run.total_cycles
+    if total <= 0:
+        raise ValueError("run has no cycles")
+    per_unit = {
+        unit: min(1.0, cycles / total)
+        for unit, cycles in run.activity.effective_cycles.items()
+    }
+    return UtilizationReport(
+        design=run.design,
+        network=run.network,
+        total_cycles=total,
+        per_unit=per_unit,
+    )
+
+
+def compare_utilization(runs: "list[SimulationResult]") -> Dict[str, UtilizationReport]:
+    """Reports keyed by design name (for before/after optimization views)."""
+    return {run.design: utilization_report(run) for run in runs}

@@ -1,0 +1,31 @@
+"""Clocking schemes and the SFQ gate-pair frequency model."""
+
+from repro.timing.clocking import (
+    ClockingScheme,
+    DEFAULT_CLOCK_HOP_PS,
+    DEFAULT_SKEW_RESIDUAL_PS,
+    DEFAULT_WIRE_DELAY_PS,
+    TimingConstraint,
+    concurrent_flow_cct,
+    counter_flow_cct,
+)
+from repro.timing.frequency import (
+    FrequencyReport,
+    GatePair,
+    combine_frequencies,
+    unit_frequency,
+)
+
+__all__ = [
+    "ClockingScheme",
+    "DEFAULT_CLOCK_HOP_PS",
+    "DEFAULT_SKEW_RESIDUAL_PS",
+    "DEFAULT_WIRE_DELAY_PS",
+    "TimingConstraint",
+    "concurrent_flow_cct",
+    "counter_flow_cct",
+    "FrequencyReport",
+    "GatePair",
+    "combine_frequencies",
+    "unit_frequency",
+]

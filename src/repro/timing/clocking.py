@@ -1,0 +1,99 @@
+"""Clocking schemes for SFQ gate-level pipelines (paper Section III-B, IV-A2).
+
+SFQ circuits are clocked gate-by-gate; the achievable clock period of a pair
+of adjacent gates is (paper Eq. 1, Fig. 11)::
+
+    CCT = SetupTime + max(HoldTime, delta_t)
+    delta_t = tau_data - tau_clock
+
+Two clock distribution styles are modeled:
+
+* **Concurrent-flow** clocking sends the clock pulse along with the data, so
+  ``tau_clock`` tracks ``tau_data`` and, with *clock skewing* applied (the
+  paper's frequency-enhancing technique), ``delta_t`` shrinks to a small
+  residual.  This is the fast scheme, usable only on feed-forward paths.
+
+* **Counter-flow** clocking sends the clock against the data direction.  It
+  tolerates feedback loops (the clock pulse never races the data), but each
+  period must cover the full data propagation plus the backward clock hop::
+
+      CCT = SetupTime + HoldTime + tau_data + tau_clock_hop
+
+Calibration (Fig. 7c): a DFF shift register runs at 133 GHz concurrent /
+71 GHz counter-flow; a full-adder accumulator at 66 GHz / 30 GHz.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ClockingScheme(enum.Enum):
+    """Clock distribution style of a pipelined SFQ unit."""
+
+    CONCURRENT_FLOW = "concurrent-flow"
+    COUNTER_FLOW = "counter-flow"
+
+
+#: Data-propagation delay of one inter-gate wire hop (a JTL segment), ps.
+DEFAULT_WIRE_DELAY_PS = 1.6
+
+#: Clock-distribution delay of one backward hop in counter-flow clocking, ps.
+DEFAULT_CLOCK_HOP_PS = 1.6
+
+#: Residual data-vs-clock mismatch left after clock skewing inside a
+#: carefully laid-out unit, ps.  Skewing cannot be perfect because the clock
+#: line length is quantized to JTL stages.
+DEFAULT_SKEW_RESIDUAL_PS = 1.0
+
+
+@dataclass(frozen=True)
+class TimingConstraint:
+    """Resolved timing of one gate pair under a clocking scheme."""
+
+    scheme: ClockingScheme
+    setup_ps: float
+    hold_ps: float
+    delta_t_ps: float
+    cycle_time_ps: float
+
+    @property
+    def frequency_ghz(self) -> float:
+        if self.cycle_time_ps <= 0:
+            raise ValueError("cycle time must be positive")
+        return 1e3 / self.cycle_time_ps
+
+
+def concurrent_flow_cct(
+    setup_ps: float,
+    hold_ps: float,
+    skew_residual_ps: float = DEFAULT_SKEW_RESIDUAL_PS,
+) -> TimingConstraint:
+    """Clock-cycle time of a gate pair under concurrent-flow clocking.
+
+    ``skew_residual_ps`` is the leftover ``delta_t`` after clock skewing; for
+    unskewed paths pass the raw accumulated data-vs-clock mismatch instead
+    (this is how the 2D splitter tree's width-proportional penalty of Fig. 5
+    enters the model).
+    """
+    delta_t = max(0.0, skew_residual_ps)
+    cct = setup_ps + max(hold_ps, delta_t)
+    return TimingConstraint(ClockingScheme.CONCURRENT_FLOW, setup_ps, hold_ps, delta_t, cct)
+
+
+def counter_flow_cct(
+    setup_ps: float,
+    hold_ps: float,
+    data_path_delay_ps: float,
+    clock_hop_ps: float = DEFAULT_CLOCK_HOP_PS,
+) -> TimingConstraint:
+    """Clock-cycle time of a gate pair under counter-flow clocking.
+
+    ``data_path_delay_ps`` is the full data propagation the period must wait
+    for — for a feedback unit this is the loop path (e.g. adder -> register
+    -> adder for an output-stationary PE).
+    """
+    delta_t = data_path_delay_ps + clock_hop_ps
+    cct = setup_ps + hold_ps + delta_t
+    return TimingConstraint(ClockingScheme.COUNTER_FLOW, setup_ps, hold_ps, delta_t, cct)

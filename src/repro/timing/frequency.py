@@ -1,0 +1,114 @@
+"""Gate-pair frequency model (paper Section IV-A2).
+
+A microarchitectural unit is described by its set of *gate pairs* — adjacent
+(source gate, destination gate) connections in the gate-level pipeline.  The
+unit's frequency is the minimum over all pairs of the pair frequency given
+the unit's clocking scheme (paper Eq. 1).  The architecture level extends
+the same computation with *inter-unit* pairs whose wire delay comes from the
+floorplan (paper Section IV-A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.device.cells import CellLibrary, SFQCell
+from repro.timing.clocking import (
+    ClockingScheme,
+    DEFAULT_SKEW_RESIDUAL_PS,
+    DEFAULT_WIRE_DELAY_PS,
+    TimingConstraint,
+    concurrent_flow_cct,
+    counter_flow_cct,
+)
+
+
+@dataclass(frozen=True)
+class GatePair:
+    """One source->destination gate connection in a pipelined unit.
+
+    Attributes:
+        src: Source cell name.
+        dst: Destination cell name (must be a clocked cell).
+        wire_delay_ps: Data wire delay between the two cells.
+        scheme: Clocking scheme applied to this pair.
+        skew_residual_ps: Residual data-vs-clock mismatch for
+            concurrent-flow pairs (after clock skewing); ignored for
+            counter-flow pairs.
+        feedback_extra_delay_ps: Additional data-path delay a counter-flow
+            pair must wait for (e.g. the register half of a feedback loop);
+            ignored for concurrent-flow pairs.
+        label: Optional human-readable description for reports.
+    """
+
+    src: str
+    dst: str
+    wire_delay_ps: float = DEFAULT_WIRE_DELAY_PS
+    scheme: ClockingScheme = ClockingScheme.CONCURRENT_FLOW
+    skew_residual_ps: float = DEFAULT_SKEW_RESIDUAL_PS
+    feedback_extra_delay_ps: float = 0.0
+    label: str = ""
+
+    def resolve(self, library: CellLibrary) -> TimingConstraint:
+        """Compute this pair's timing constraint with ``library`` parameters."""
+        src_cell: SFQCell = library[self.src]
+        dst_cell: SFQCell = library[self.dst]
+        if not dst_cell.is_clocked:
+            raise ValueError(
+                f"destination cell {self.dst!r} is unclocked and cannot bound "
+                "the clock period; fold it into the pair's wire delay instead"
+            )
+        if self.scheme is ClockingScheme.CONCURRENT_FLOW:
+            return concurrent_flow_cct(
+                dst_cell.setup_ps, dst_cell.hold_ps, self.skew_residual_ps
+            )
+        data_path = src_cell.delay_ps + self.wire_delay_ps + self.feedback_extra_delay_ps
+        return counter_flow_cct(dst_cell.setup_ps, dst_cell.hold_ps, data_path)
+
+
+@dataclass
+class FrequencyReport:
+    """Result of a unit- or chip-level frequency analysis."""
+
+    cycle_time_ps: float
+    frequency_ghz: float
+    critical_pair: Optional[GatePair]
+    constraints: List[TimingConstraint] = field(default_factory=list)
+
+
+def unit_frequency(pairs: Iterable[GatePair], library: CellLibrary) -> FrequencyReport:
+    """Frequency of a unit: the minimum pair frequency over all gate pairs.
+
+    Raises ``ValueError`` when ``pairs`` is empty — a unit with no clocked
+    pairs (e.g. a pure DFF-splitter network chain) has no frequency of its
+    own, mirroring the paper's note that the NW unit alone reports none.
+    """
+    worst_cct = 0.0
+    worst_pair: Optional[GatePair] = None
+    constraints: List[TimingConstraint] = []
+    for pair in pairs:
+        constraint = pair.resolve(library)
+        constraints.append(constraint)
+        if constraint.cycle_time_ps > worst_cct:
+            worst_cct = constraint.cycle_time_ps
+            worst_pair = pair
+    if worst_pair is None:
+        raise ValueError("no gate pairs supplied; the unit has no clocked path")
+    return FrequencyReport(
+        cycle_time_ps=worst_cct,
+        frequency_ghz=1e3 / worst_cct,
+        critical_pair=worst_pair,
+        constraints=constraints,
+    )
+
+
+def combine_frequencies(reports: Iterable[FrequencyReport]) -> FrequencyReport:
+    """Chip frequency = slowest of the participating unit/interface reports."""
+    worst: Optional[FrequencyReport] = None
+    for report in reports:
+        if worst is None or report.cycle_time_ps > worst.cycle_time_ps:
+            worst = report
+    if worst is None:
+        raise ValueError("no frequency reports supplied")
+    return worst

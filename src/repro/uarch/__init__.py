@@ -1,0 +1,42 @@
+"""SFQ microarchitectural unit models (PE, MAC, network, DAU, buffers)."""
+
+from repro.uarch.unit import GateCounts, Unit
+from repro.uarch.config import KIB, MIB, NPUConfig
+from repro.uarch.mac import Dataflow, MACUnit, full_adder_counts
+from repro.uarch.pe import ProcessingElement
+from repro.uarch.network import (
+    NetworkUnit,
+    SplitterTree1D,
+    SplitterTree2D,
+    SystolicChain,
+    compare_designs,
+)
+from repro.uarch.activation import MaxPoolUnit, ReLUUnit
+from repro.uarch.bitserial import BitSerialMAC
+from repro.uarch.generated import GeneratedMACUnit
+from repro.uarch.buffers import IntegratedOutputBuffer, ShiftRegisterBuffer
+from repro.uarch.dau import DataAlignmentUnit
+
+__all__ = [
+    "GateCounts",
+    "Unit",
+    "KIB",
+    "MIB",
+    "NPUConfig",
+    "Dataflow",
+    "MACUnit",
+    "full_adder_counts",
+    "ProcessingElement",
+    "NetworkUnit",
+    "SplitterTree1D",
+    "SplitterTree2D",
+    "SystolicChain",
+    "compare_designs",
+    "MaxPoolUnit",
+    "ReLUUnit",
+    "BitSerialMAC",
+    "GeneratedMACUnit",
+    "IntegratedOutputBuffer",
+    "ShiftRegisterBuffer",
+    "DataAlignmentUnit",
+]

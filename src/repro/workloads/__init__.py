@@ -1,0 +1,70 @@
+"""CNN benchmark workloads and workload analyses."""
+
+from repro.workloads.layers import ConvLayer, ceil_div, depthwise_layer, fc_layer, pooled
+from repro.workloads.models import (
+    Network,
+    WORKLOAD_NAMES,
+    all_workloads,
+    alexnet,
+    by_name,
+    faster_rcnn,
+    googlenet,
+    mobilenet,
+    resnet50,
+    vgg16,
+)
+from repro.workloads.scalesim_io import dump_topology, load_topology, round_trip
+from repro.workloads.synthetic import synthetic_conv_net, synthetic_suite
+from repro.workloads.extra import (
+    EXTRA_WORKLOADS,
+    bert_base_block,
+    matmul_layer,
+    resnet18,
+    transformer_block,
+    vgg19,
+)
+from repro.workloads.analysis import (
+    DuplicationReport,
+    IntensityReport,
+    duplication_report,
+    intensity_report,
+    max_batch_for_buffer,
+    per_layer_intensity,
+    summarize,
+)
+
+__all__ = [
+    "ConvLayer",
+    "ceil_div",
+    "depthwise_layer",
+    "fc_layer",
+    "pooled",
+    "Network",
+    "WORKLOAD_NAMES",
+    "all_workloads",
+    "alexnet",
+    "by_name",
+    "faster_rcnn",
+    "googlenet",
+    "mobilenet",
+    "resnet50",
+    "vgg16",
+    "DuplicationReport",
+    "IntensityReport",
+    "duplication_report",
+    "intensity_report",
+    "max_batch_for_buffer",
+    "per_layer_intensity",
+    "summarize",
+    "dump_topology",
+    "load_topology",
+    "round_trip",
+    "synthetic_conv_net",
+    "synthetic_suite",
+    "EXTRA_WORKLOADS",
+    "bert_base_block",
+    "matmul_layer",
+    "resnet18",
+    "transformer_block",
+    "vgg19",
+]

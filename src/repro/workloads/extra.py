@@ -1,0 +1,117 @@
+"""Additional workloads beyond the paper's six CNNs.
+
+The paper closes by arguing the methodology "can also be applied to other
+architectures favoring the SFQ logic"; these workloads exercise that
+claim:
+
+* two more CNN classics (ResNet-18, VGG-19) for breadth;
+* a transformer encoder block (BERT-base geometry) — pure matmuls, i.e.
+  exactly the streaming, control-flow-free work SFQ wants.  Matmuls map
+  onto the conv abstraction as 1x1 convolutions: a (M x K) @ (K x N)
+  product is a layer with K input channels, N filters and M output
+  positions.  Softmax/layernorm run off the MAC array, like pooling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layers import ConvLayer, fc_layer, pooled
+from repro.workloads.models import Network, _conv
+
+
+def matmul_layer(name: str, m: int, k: int, n: int) -> ConvLayer:
+    """A (m x k) @ (k x n) matrix product as a systolic-friendly layer."""
+    return ConvLayer(
+        name=name,
+        in_channels=k,
+        in_height=m,
+        in_width=1,
+        out_channels=n,
+        kernel_height=1,
+        kernel_width=1,
+    )
+
+
+def resnet18() -> Network:
+    """ResNet-18 (He et al., 2016): basic (two-conv) residual blocks."""
+    layers: List[ConvLayer] = [_conv("conv1", 3, 224, 64, 7, stride=2, padding=3)]
+    size = pooled(112, kernel=3, stride=2, padding=1)  # 56
+    in_ch = 64
+    plan = [(64, 2), (128, 2), (256, 2), (512, 2)]
+    for stage, (channels, blocks) in enumerate(plan, start=2):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 2) else 1
+            prefix = f"conv{stage}_{block + 1}"
+            layers.append(_conv(f"{prefix}a", in_ch, size, channels, 3, stride=stride))
+            out_size = size // stride
+            layers.append(_conv(f"{prefix}b", channels, out_size, channels, 3))
+            if block == 0 and stage > 2:
+                layers.append(
+                    _conv(f"{prefix}_proj", in_ch, size, channels, 1,
+                          stride=stride, padding=0)
+                )
+            in_ch = channels
+            size = out_size
+    layers.append(fc_layer("fc", 512, 1000))
+    return Network("ResNet18", tuple(layers))
+
+
+def vgg19() -> Network:
+    """VGG-19 (configuration E): four convs in the last three blocks."""
+    plan = [(2, 3, 64), (2, 64, 128), (4, 128, 256), (4, 256, 512), (4, 512, 512)]
+    layers: List[ConvLayer] = []
+    size = 224
+    for block_index, (repeats, cin, cout) in enumerate(plan, start=1):
+        for i in range(repeats):
+            in_ch = cin if i == 0 else cout
+            layers.append(_conv(f"conv{block_index}_{i + 1}", in_ch, size, cout, 3))
+        size = pooled(size)
+    layers += [
+        fc_layer("fc6", 512 * 7 * 7, 4096),
+        fc_layer("fc7", 4096, 4096),
+        fc_layer("fc8", 4096, 1000),
+    ]
+    return Network("VGG19", tuple(layers))
+
+
+def transformer_block(
+    seq_len: int = 384,
+    hidden: int = 768,
+    heads: int = 12,
+    ff_multiplier: int = 4,
+    name: str = "BERTBlock",
+) -> Network:
+    """One transformer encoder block as systolic matmul layers.
+
+    Per block: Q/K/V projections, attention scores (Q @ K^T per head),
+    attention application (scores @ V), output projection, and the
+    two-layer feed-forward network.  Softmax and residual adds are
+    element-wise and run off the MAC array.
+    """
+    if hidden % heads:
+        raise ValueError("hidden size must divide evenly into heads")
+    head_dim = hidden // heads
+    layers: List[ConvLayer] = [
+        matmul_layer("q_proj", seq_len, hidden, hidden),
+        matmul_layer("k_proj", seq_len, hidden, hidden),
+        matmul_layer("v_proj", seq_len, hidden, hidden),
+    ]
+    # Per-head attention matmuls, aggregated as grouped-size products.
+    for head in range(heads):
+        layers.append(matmul_layer(f"scores_h{head}", seq_len, head_dim, seq_len))
+        layers.append(matmul_layer(f"context_h{head}", seq_len, seq_len, head_dim))
+    layers += [
+        matmul_layer("out_proj", seq_len, hidden, hidden),
+        matmul_layer("ffn_up", seq_len, hidden, ff_multiplier * hidden),
+        matmul_layer("ffn_down", seq_len, ff_multiplier * hidden, hidden),
+    ]
+    return Network(name, tuple(layers))
+
+
+def bert_base_block() -> Network:
+    """A BERT-base encoder block at sequence length 384."""
+    return transformer_block()
+
+
+EXTRA_WORKLOADS = ("ResNet18", "VGG19", "BERTBlock")

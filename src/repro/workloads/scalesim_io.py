@@ -1,0 +1,93 @@
+"""SCALE-SIM topology-file interoperability.
+
+SCALE-SIM (the simulator the paper uses for its TPU baseline) describes
+networks as CSV topology files::
+
+    Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
+    Channels, Num Filter, Strides,
+    Conv1, 227, 227, 11, 11, 3, 96, 4,
+
+This module reads and writes that format so workloads can be exchanged
+with the SCALE-SIM ecosystem.  SCALE-SIM topologies carry no padding
+column; on import, same-padding is inferred for stride-1 odd kernels
+(configurable), and on export padding is dropped (as SCALE-SIM does).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Union
+
+from repro.workloads.layers import ConvLayer
+from repro.workloads.models import Network
+
+HEADER = (
+    "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, "
+    "Channels, Num Filter, Strides,"
+)
+
+
+def load_topology(
+    source: Union[str, TextIO],
+    name: str = "imported",
+    infer_same_padding: bool = True,
+) -> Network:
+    """Parse a SCALE-SIM topology CSV into a :class:`Network`.
+
+    ``source`` may be CSV text or an open file object.
+    """
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    layers: List[ConvLayer] = []
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.strip().rstrip(",")
+        if not line or line.lower().startswith("layer name"):
+            continue
+        fields = [field.strip() for field in line.split(",")]
+        if len(fields) < 8:
+            raise ValueError(
+                f"line {line_number}: expected 8 columns, got {len(fields)}"
+            )
+        layer_name = fields[0]
+        try:
+            ifmap_h, ifmap_w, filt_h, filt_w, channels, filters, stride = (
+                int(value) for value in fields[1:8]
+            )
+        except ValueError as error:
+            raise ValueError(f"line {line_number}: {error}") from error
+        padding = 0
+        if infer_same_padding and stride == 1 and filt_h == filt_w and filt_h % 2 == 1 and filt_h > 1:
+            padding = filt_h // 2
+        layers.append(
+            ConvLayer(
+                name=layer_name,
+                in_channels=channels,
+                in_height=ifmap_h,
+                in_width=ifmap_w,
+                out_channels=filters,
+                kernel_height=filt_h,
+                kernel_width=filt_w,
+                stride=stride,
+                padding=padding,
+            )
+        )
+    if not layers:
+        raise ValueError("topology file contains no layers")
+    return Network(name, tuple(layers))
+
+
+def dump_topology(network: Network) -> str:
+    """Render a network as SCALE-SIM topology CSV text."""
+    lines = [HEADER]
+    for layer in network.layers:
+        lines.append(
+            f"{layer.name}, {layer.in_height}, {layer.in_width}, "
+            f"{layer.kernel_height}, {layer.kernel_width}, "
+            f"{layer.in_channels}, {layer.out_channels}, {layer.stride},"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def round_trip(network: Network) -> Network:
+    """dump -> load; useful for interop tests (padding is re-inferred)."""
+    return load_topology(dump_topology(network), name=network.name)

@@ -1,0 +1,70 @@
+"""Synthetic workload generators for stress-testing and fuzzing.
+
+Random-but-valid networks let property tests and robustness sweeps cover
+layer shapes the six benchmark CNNs never produce (prime channel counts,
+degenerate spatial sizes, extreme aspect ratios).  Generation is fully
+deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.workloads.layers import ConvLayer, depthwise_layer, fc_layer
+from repro.workloads.models import Network
+
+
+def synthetic_conv_net(
+    seed: int,
+    num_layers: Optional[int] = None,
+    max_channels: int = 256,
+    input_size: int = 64,
+) -> Network:
+    """A random valid CNN: convs with occasional stride/depthwise, FC head."""
+    if max_channels < 4:
+        raise ValueError("need at least 4 channels of headroom")
+    if input_size < 8:
+        raise ValueError("input must be at least 8 pixels")
+    rng = random.Random(seed)
+    depth = num_layers if num_layers is not None else rng.randint(3, 9)
+    if depth < 2:
+        raise ValueError("need at least two layers")
+
+    layers: List[ConvLayer] = []
+    channels = rng.choice([1, 3, 4])
+    size = input_size
+    for index in range(depth - 1):
+        kind = rng.random()
+        if kind < 0.15 and channels > 1 and size >= 3:
+            layers.append(
+                depthwise_layer(f"dw{index}", channels, size, stride=1, padding=1)
+            )
+            continue
+        out_channels = rng.randint(4, max_channels)
+        kernel = rng.choice([1, 3, 3, 5]) if size >= 5 else 1
+        stride = rng.choice([1, 1, 1, 2]) if size // 2 >= kernel else 1
+        layers.append(
+            ConvLayer(
+                name=f"conv{index}",
+                in_channels=channels,
+                in_height=size,
+                in_width=size,
+                out_channels=out_channels,
+                kernel_height=kernel,
+                kernel_width=kernel,
+                stride=stride,
+                padding=kernel // 2,
+            )
+        )
+        channels = out_channels
+        size = layers[-1].out_height
+    layers.append(fc_layer("head", channels * size * size, rng.choice([10, 100, 1000])))
+    return Network(f"synthetic-{seed}", tuple(layers))
+
+
+def synthetic_suite(count: int, seed: int = 0, **kwargs) -> List[Network]:
+    """A deterministic batch of synthetic networks."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    return [synthetic_conv_net(seed + index, **kwargs) for index in range(count)]

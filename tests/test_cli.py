@@ -1,0 +1,143 @@
+"""CLI smoke tests (every command exits 0 and prints sane output)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_estimate_command(capsys):
+    assert main(["estimate", "supernpu"]) == 0
+    out = capsys.readouterr().out
+    assert "52.6" in out and "SuperNPU" in out
+
+
+def test_estimate_ersfq(capsys):
+    assert main(["estimate", "baseline", "--technology", "ersfq"]) == 0
+    out = capsys.readouterr().out
+    assert "static power    : 0.00 W" in out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "supernpu", "mobilenet"]) == 0
+    out = capsys.readouterr().out
+    assert "TMAC/s" in out and "batch 30" in out
+
+
+def test_simulate_custom_batch(capsys):
+    assert main(["simulate", "baseline", "alexnet", "--batch", "2"]) == 0
+    assert "batch 2" in capsys.readouterr().out
+
+
+def test_validate_command(capsys):
+    assert main(["validate"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_table1_command(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Baseline" in out and "SuperNPU" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table", "2"]) == 0
+    assert "AlexNet" in capsys.readouterr().out
+
+
+def test_unknown_design_raises():
+    with pytest.raises(KeyError):
+        main(["estimate", "meganpu"])
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "VGG16" in out and "duplication" in out
+
+
+def test_trace_summary_command(capsys):
+    assert main(["trace", "baseline", "vgg16", "conv3_1"]) == 0
+    out = capsys.readouterr().out
+    assert "psum_move" in out and "mappings" in out
+
+
+def test_trace_csv_command(capsys):
+    assert main(["trace", "supernpu", "resnet50", "conv2_1b", "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("mapping,phase,start_cycle")
+
+
+def test_trace_unknown_layer(capsys):
+    with pytest.raises(KeyError, match="no layer"):
+        main(["trace", "baseline", "vgg16", "conv99"])
+
+
+def test_report_json_command(capsys):
+    assert main(["report", "supernpu", "googlenet"]) == 0
+    out = capsys.readouterr().out
+    assert '"design": "SuperNPU"' in out
+
+
+def test_report_csv_layers_command(capsys):
+    assert main(["report", "baseline", "alexnet", "--format", "csv", "--layers"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("design,network,layer")
+
+
+def test_floorplan_command(capsys):
+    assert main(["floorplan", "supernpu"]) == 0
+    out = capsys.readouterr().out
+    assert "pe_array" in out and "implied clock: 52.6 GHz" in out
+
+
+def test_energy_command(capsys):
+    assert main(["energy", "mobilenet"]) == 0
+    out = capsys.readouterr().out
+    assert "ERSFQ-SuperNPU (free cooling)" in out
+
+
+def test_evaluate_command(capsys):
+    assert main(["evaluate"]) == 0
+    out = capsys.readouterr().out
+    assert "SuperNPU" in out and "Average" in out
+
+
+def test_sweep_resources_command(capsys):
+    assert main(["sweep", "resources"]) == 0
+    out = capsys.readouterr().out
+    assert "intensity" in out
+
+
+def test_sweep_registers_command(capsys):
+    assert main(["sweep", "registers"]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_table3_command(capsys):
+    assert main(["table", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "RSFQ-SuperNPU (w/ cooling)" in out
+
+
+def test_config_file_flow(tmp_path, capsys):
+    from repro.core.config_io import save
+    from repro.core.designs import supernpu
+
+    path = tmp_path / "custom.json"
+    save(supernpu().with_updates(name="my-npu", registers_per_pe=2), path)
+    assert main(["estimate", "--config-file", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "my-npu" in out
+    assert main(["simulate", "googlenet", "--config-file", str(path)]) == 0
+    assert "my-npu running GoogLeNet" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "baseline", "supernpu", "--workloads", "mobilenet"]) == 0
+    out = capsys.readouterr().out
+    assert "winner (mean throughput): SuperNPU" in out

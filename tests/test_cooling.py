@@ -1,0 +1,62 @@
+"""Cryocooler model tests (Table III cooling scenarios)."""
+
+import math
+
+import pytest
+
+from repro.cooling.cryocooler import (
+    PAPER_COOLER,
+    PAPER_COOLING_FACTOR,
+    Cryocooler,
+    carnot_cooling_factor,
+)
+
+
+def test_paper_factor_is_400():
+    assert PAPER_COOLING_FACTOR == 400.0
+    assert PAPER_COOLER.factor == 400.0
+
+
+def test_carnot_bound_at_4k():
+    # (300 - 4.2) / 4.2 ~ 70.4 wall watts per cold watt, ideally.
+    assert math.isclose(carnot_cooling_factor(4.2), (300 - 4.2) / 4.2)
+
+
+def test_paper_cooler_is_physical():
+    """400x is ~18% of Carnot — a realistic large cryoplant."""
+    assert 0.1 < PAPER_COOLER.percent_of_carnot < 0.3
+
+
+def test_sub_carnot_cooler_rejected():
+    with pytest.raises(ValueError, match="Carnot"):
+        Cryocooler(factor=10.0)
+
+
+def test_cooling_power_table3_example():
+    """RSFQ-SuperNPU: 964 W at 4 K -> ~3.8e5 W wall (Table III)."""
+    wall = PAPER_COOLER.wall_power_w(964.0)
+    assert math.isclose(wall, 964 * 401, rel_tol=1e-9)
+    assert 3.5e5 < wall < 4.2e5
+
+
+def test_free_cooling_scenario():
+    assert PAPER_COOLER.wall_power_w(964.0, free_cooling=True) == 964.0
+
+
+def test_ersfq_cooling_cost():
+    """ERSFQ-SuperNPU: 1.9 W chip -> ~751 W wall (Table III)."""
+    wall = PAPER_COOLER.wall_power_w(1.9)
+    assert math.isclose(wall, 1.9 * 401, rel_tol=1e-9)
+    assert 700 < wall < 800
+
+
+def test_negative_chip_power_rejected():
+    with pytest.raises(ValueError):
+        PAPER_COOLER.cooling_power_w(-1.0)
+
+
+def test_invalid_temperatures():
+    with pytest.raises(ValueError):
+        carnot_cooling_factor(0.0)
+    with pytest.raises(ValueError):
+        carnot_cooling_factor(300.0, 4.0)

@@ -1,0 +1,54 @@
+"""One-factor ablation tests."""
+
+import pytest
+
+from repro.core.ablate import AblationRow, ablated_configs, ablation_study
+from repro.workloads.models import mobilenet, resnet50
+
+
+def test_ablated_configs_cover_all_features():
+    configs = ablated_configs()
+    assert set(configs) == {
+        "SuperNPU", "no_integration", "no_division", "wide_array", "single_register",
+    }
+
+
+def test_each_ablation_removes_exactly_its_feature():
+    configs = ablated_configs()
+    full = configs["SuperNPU"]
+    assert not configs["no_integration"].integrated_output_buffer
+    assert configs["no_division"].ifmap_division == 1
+    assert configs["wide_array"].pe_array_width == 256
+    assert configs["single_register"].registers_per_pe == 1
+    # Everything else stays put (spot-check the register ablation).
+    assert configs["single_register"].pe_array_width == full.pe_array_width
+    assert configs["single_register"].ifmap_division == full.ifmap_division
+
+
+def test_no_integration_preserves_total_capacity():
+    configs = ablated_configs()
+    split = configs["no_integration"]
+    assert (
+        split.output_buffer_bytes + split.psum_buffer_bytes
+        == configs["SuperNPU"].output_buffer_bytes
+    )
+
+
+@pytest.fixture(scope="module")
+def study(rsfq):
+    return ablation_study(workloads=[resnet50(), mobilenet()], library=rsfq)
+
+
+def test_rows_sorted_worst_first(study):
+    values = [row.relative_to_full for row in study]
+    assert values == sorted(values)
+
+
+def test_division_dominates(study):
+    assert study[0].feature == "no_division"
+    assert study[0].relative_to_full < 0.1
+
+
+def test_penalty_arithmetic():
+    row = AblationRow("x", "y", mean_mac_per_s=80.0, relative_to_full=0.8)
+    assert row.penalty_percent == pytest.approx(20.0)

@@ -1,0 +1,80 @@
+"""Batch-policy tests (Table II)."""
+
+import pytest
+
+from repro.core.batching import (
+    BATCH_CAP,
+    PAPER_BATCHES,
+    batch_for,
+    derived_batch,
+    paper_batch,
+)
+from repro.core.designs import baseline, supernpu
+from repro.workloads.models import alexnet, vgg16
+
+
+def test_table2_values_verbatim():
+    assert paper_batch("TPU", "AlexNet") == 22
+    assert paper_batch("TPU", "VGG16") == 3
+    assert paper_batch("Baseline", "ResNet50") == 1
+    assert paper_batch("Buffer opt.", "AlexNet") == 15
+    assert paper_batch("Resource opt.", "MobileNet") == 30
+    assert paper_batch("SuperNPU", "VGG16") == 7
+
+
+def test_every_design_covers_every_workload():
+    workloads = {"AlexNet", "FasterRCNN", "GoogLeNet", "MobileNet", "ResNet50", "VGG16"}
+    for design, rows in PAPER_BATCHES.items():
+        assert set(rows) == workloads, design
+
+
+def test_baseline_runs_single_batch_everywhere():
+    assert all(v == 1 for v in PAPER_BATCHES["Baseline"].values())
+
+
+def test_unknown_pairs_raise():
+    with pytest.raises(KeyError):
+        paper_batch("MegaNPU", "AlexNet")
+    with pytest.raises(KeyError):
+        paper_batch("TPU", "LeNet")
+
+
+def test_batch_for_uses_table_for_named_designs():
+    assert batch_for(supernpu(), vgg16()) == 7
+    assert batch_for(baseline(), alexnet()) == 1
+
+
+def test_batch_for_falls_back_to_derived_rule():
+    config = supernpu().with_updates(name="custom-sweep-point")
+    batch = batch_for(config, vgg16())
+    assert 1 <= batch <= BATCH_CAP
+
+
+def test_derived_batch_caps_and_floors():
+    assert derived_batch(supernpu(), alexnet()) <= BATCH_CAP
+    tiny = supernpu().with_updates(
+        name="tiny", ifmap_buffer_bytes=1024, output_buffer_bytes=1024
+    )
+    assert derived_batch(tiny, vgg16()) == 1
+
+
+def test_derived_batch_monotone_in_capacity():
+    small = supernpu().with_updates(
+        name="s", ifmap_buffer_bytes=4 * 2**20, output_buffer_bytes=4 * 2**20
+    )
+    large = supernpu().with_updates(
+        name="l", ifmap_buffer_bytes=32 * 2**20, output_buffer_bytes=32 * 2**20
+    )
+    assert derived_batch(small, vgg16()) <= derived_batch(large, vgg16())
+
+
+def test_derived_batch_channel_slot_constraint():
+    """An undivided buffer holds at most pe_array_height channels."""
+    undivided = baseline().with_updates(name="u")
+    divided = baseline().with_updates(name="d", ifmap_division=64)
+    assert derived_batch(undivided, vgg16()) <= derived_batch(divided, vgg16())
+
+
+def test_derived_batch_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        derived_batch(supernpu(), vgg16(), cap=0)

@@ -1,0 +1,60 @@
+"""Design-comparison utility tests."""
+
+import pytest
+
+from repro.core.compare import compare, comparison_records, winner
+from repro.core.designs import baseline, supernpu
+from repro.workloads.models import mobilenet, resnet50
+
+
+@pytest.fixture(scope="module")
+def columns(rsfq):
+    return compare(
+        [baseline(), supernpu()],
+        workloads=[resnet50(), mobilenet()],
+        library=rsfq,
+    )
+
+
+def test_columns_cover_configs_and_workloads(columns):
+    assert [c.config.name for c in columns] == ["Baseline", "SuperNPU"]
+    for column in columns:
+        assert set(column.throughput_tmacs) == {"ResNet50", "MobileNet"}
+        assert set(column.batches) == {"ResNet50", "MobileNet"}
+
+
+def test_scorecard_fields_sane(columns):
+    for column in columns:
+        assert column.frequency_ghz == pytest.approx(52.6, rel=0.002)
+        assert column.area_mm2_28nm < 330
+        assert column.mean_tmacs > 0
+
+
+def test_winner_is_supernpu(columns):
+    assert winner(columns).config.name == "SuperNPU"
+    assert winner(columns).mean_tmacs > 10 * columns[0].mean_tmacs
+
+
+def test_records_flatten(columns):
+    records = comparison_records(columns)
+    assert records[0]["design"] == "Baseline"
+    assert "tmacs_ResNet50" in records[0]
+    from repro.core.report import to_csv
+
+    text = to_csv(records)
+    assert text.splitlines()[0].startswith("design,")
+
+
+def test_validation(rsfq):
+    with pytest.raises(ValueError):
+        compare([])
+    with pytest.raises(ValueError, match="unique"):
+        compare([supernpu(), supernpu()], workloads=[mobilenet()], library=rsfq)
+    with pytest.raises(ValueError):
+        winner([])
+
+
+def test_custom_config_uses_derived_batch(rsfq):
+    custom = supernpu().with_updates(name="custom-x")
+    columns = compare([custom], workloads=[mobilenet()], library=rsfq)
+    assert columns[0].batches["MobileNet"] >= 1

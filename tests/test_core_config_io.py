@@ -1,0 +1,63 @@
+"""NPUConfig JSON (de)serialization tests."""
+
+import pytest
+
+from repro.core.config_io import (
+    config_from_dict,
+    config_to_dict,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.core.designs import supernpu
+
+
+def test_round_trip_preserves_config():
+    config = supernpu()
+    assert loads(dumps(config)) == config
+
+
+def test_dict_round_trip():
+    config = supernpu()
+    assert config_from_dict(config_to_dict(config)) == config
+
+
+def test_file_round_trip(tmp_path):
+    config = supernpu()
+    path = tmp_path / "supernpu.json"
+    save(config, path)
+    assert load(path) == config
+    assert path.read_text().startswith("{")
+
+
+def test_unknown_field_rejected():
+    data = config_to_dict(supernpu())
+    data["warp_factor"] = 9
+    with pytest.raises(ValueError, match="warp_factor"):
+        config_from_dict(data)
+
+
+def test_missing_name_rejected():
+    data = config_to_dict(supernpu())
+    del data["name"]
+    with pytest.raises(ValueError, match="name"):
+        config_from_dict(data)
+
+
+def test_invalid_values_still_validated():
+    data = config_to_dict(supernpu())
+    data["pe_array_width"] = 0
+    with pytest.raises(ValueError):
+        config_from_dict(data)
+
+
+def test_non_object_json_rejected():
+    with pytest.raises(ValueError):
+        loads("[1, 2, 3]")
+
+
+def test_dumps_is_stable():
+    a = dumps(supernpu())
+    b = dumps(supernpu())
+    assert a == b

@@ -1,0 +1,87 @@
+"""Named design-point tests (Table I)."""
+
+import pytest
+
+from repro.core.designs import (
+    DESIGN_ORDER,
+    all_designs,
+    baseline,
+    buffer_opt,
+    design_by_name,
+    resource_opt,
+    supernpu,
+)
+from repro.uarch.config import KIB, MIB
+
+
+def test_design_order():
+    assert [d.name for d in all_designs()] == list(DESIGN_ORDER)
+
+
+def test_baseline_table1_row():
+    config = baseline()
+    assert config.pe_array_width == 256
+    assert config.ifmap_buffer_bytes == 8 * MIB
+    assert config.psum_buffer_bytes == 8 * MIB
+    assert config.weight_buffer_bytes == 64 * KIB
+    assert not config.integrated_output_buffer
+    assert config.ifmap_division == 1
+    assert config.registers_per_pe == 1
+
+
+def test_buffer_opt_table1_row():
+    config = buffer_opt()
+    assert config.ifmap_buffer_bytes == 12 * MIB
+    assert config.output_buffer_bytes == 12 * MIB
+    assert config.psum_buffer_bytes == 0
+    assert config.integrated_output_buffer
+    assert config.ifmap_division == 64
+    assert config.output_division == 64
+
+
+def test_resource_opt_table1_row():
+    config = resource_opt()
+    assert config.pe_array_width == 64
+    assert config.pe_array_height == 256
+    assert config.ifmap_buffer_bytes == 24 * MIB
+    assert config.weight_buffer_bytes == 16 * KIB
+    assert config.output_division == 256
+    assert config.registers_per_pe == 1
+
+
+def test_supernpu_table1_row():
+    config = supernpu()
+    assert config.pe_array_width == 64
+    assert config.registers_per_pe == 8
+    assert config.weight_buffer_bytes == 128 * KIB
+    assert config.onchip_buffer_bytes == 48 * MIB + 128 * KIB
+
+
+def test_total_buffer_capacity_preserved_through_buffer_opt():
+    """Section V-B1: integration re-splits the same 24 MB."""
+    assert (
+        baseline().ifmap_buffer_bytes
+        + baseline().output_buffer_bytes
+        + baseline().psum_buffer_bytes
+        == buffer_opt().ifmap_buffer_bytes + buffer_opt().output_buffer_bytes
+    )
+
+
+@pytest.mark.parametrize(
+    "alias, expected",
+    [
+        ("baseline", "Baseline"),
+        ("Buffer opt.", "Buffer opt."),
+        ("buffer_opt", "Buffer opt."),
+        ("resource_opt", "Resource opt."),
+        ("SuperNPU", "SuperNPU"),
+        ("super", "SuperNPU"),
+    ],
+)
+def test_design_by_name_aliases(alias, expected):
+    assert design_by_name(alias).name == expected
+
+
+def test_design_by_name_unknown():
+    with pytest.raises(KeyError):
+        design_by_name("meganpu")

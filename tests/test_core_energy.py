@@ -1,0 +1,58 @@
+"""Energy-per-image metric tests."""
+
+import pytest
+
+from repro.core.energy import (
+    EnergyRow,
+    best_by_wall_energy,
+    inference_energy_table,
+    relative_energy,
+)
+from repro.workloads.models import resnet50
+
+
+@pytest.fixture(scope="module")
+def table():
+    return inference_energy_table(resnet50())
+
+
+def test_table_covers_all_scenarios(table):
+    labels = [row.label for row in table]
+    assert labels[0] == "TPU"
+    assert any("RSFQ" in l and "free" in l for l in labels)
+    assert any("ERSFQ" in l and "w/ cooling" in l for l in labels)
+    assert len(table) == 5
+
+
+def test_ersfq_free_cooling_wins_by_far(table):
+    rel = relative_energy(table)
+    ersfq_free = rel["ERSFQ-SuperNPU (free cooling)"]
+    assert ersfq_free < 0.01  # hundreds of times less energy than the TPU
+
+
+def test_cooled_rsfq_is_energy_hog(table):
+    rel = relative_energy(table)
+    assert rel["RSFQ-SuperNPU (w/ cooling)"] > 10
+
+
+def test_best_row(table):
+    assert "ERSFQ" in best_by_wall_energy(table).label
+    with pytest.raises(ValueError):
+        best_by_wall_energy([])
+
+
+def test_energy_arithmetic():
+    row = EnergyRow("x", images_per_s=100.0, chip_power_w=2.0, wall_power_w=802.0)
+    assert row.chip_joules_per_image == pytest.approx(0.02)
+    assert row.wall_joules_per_image == pytest.approx(8.02)
+
+
+def test_zero_throughput_rejected():
+    row = EnergyRow("x", images_per_s=0.0, chip_power_w=1.0, wall_power_w=1.0)
+    with pytest.raises(ValueError):
+        row.chip_joules_per_image
+
+
+def test_relative_requires_reference(table):
+    with pytest.raises(KeyError):
+        relative_energy(table, reference_label="GPU")

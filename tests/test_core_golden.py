@@ -1,0 +1,40 @@
+"""Golden-number regression tests — the headline metrics, pinned."""
+
+import pytest
+
+from repro.core.golden import GOLDEN, check, current_record
+
+
+@pytest.fixture(scope="module")
+def record():
+    return current_record()
+
+
+def test_all_goldens_hold(record):
+    violations = check(record)
+    assert not violations, "\n".join(violations)
+
+
+def test_record_covers_every_golden(record):
+    assert set(GOLDEN) <= set(record)
+
+
+def test_check_flags_drift(record):
+    drifted = dict(record)
+    drifted["supernpu_speedup"] = record["supernpu_speedup"] * 2
+    violations = check(drifted)
+    assert any("supernpu_speedup" in violation for violation in violations)
+
+
+def test_check_flags_missing_metric(record):
+    partial = {k: v for k, v in record.items() if k != "npu_frequency_ghz"}
+    violations = check(partial)
+    assert any("missing" in violation for violation in violations)
+
+
+def test_goldens_track_the_paper():
+    """The stored goldens themselves sit in the paper's bands."""
+    assert GOLDEN["npu_frequency_ghz"][0] == 52.6  # Table I
+    assert 10 <= GOLDEN["supernpu_speedup"][0] <= 50  # paper: 23x
+    assert 900 <= GOLDEN["rsfq_chip_power_w"][0] <= 1030  # paper: 964 W
+    assert 200 <= GOLDEN["ersfq_perf_per_watt_free"][0] <= 900  # paper: 490x

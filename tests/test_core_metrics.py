@@ -1,0 +1,63 @@
+"""Roofline and power-efficiency metric tests."""
+
+import math
+
+import pytest
+
+from repro.cooling.cryocooler import PAPER_COOLER
+from repro.core.metrics import EfficiencyRow, efficiency_row, roofline_point
+from repro.workloads.models import alexnet, vgg16
+
+
+def test_roofline_point_bandwidth_bound():
+    point = roofline_point(alexnet(), batch=1, peak_mac_per_s=3447e12, bandwidth_gbps=300)
+    assert point.attainable_mac_per_s == pytest.approx(
+        point.intensity_mac_per_byte * 300e9
+    )
+    assert point.max_pe_utilization < 0.02
+
+
+def test_roofline_point_peak_bound():
+    point = roofline_point(vgg16(), batch=1000, peak_mac_per_s=1e12, bandwidth_gbps=300)
+    assert point.attainable_mac_per_s == 1e12
+    assert point.max_pe_utilization == 1.0
+
+
+def test_roofline_includes_measured_when_given(rsfq, supernpu_config):
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.engine import simulate
+
+    estimate = estimate_npu(supernpu_config, rsfq)
+    run = simulate(supernpu_config, vgg16(), batch=7, estimate=estimate)
+    point = roofline_point(vgg16(), 7, estimate.peak_mac_per_s, 300, measured=run)
+    assert point.measured_mac_per_s == pytest.approx(run.mac_per_s)
+    assert point.measured_mac_per_s <= point.peak_mac_per_s
+
+
+def test_efficiency_row_room_temperature():
+    row = efficiency_row("TPU", 40.0, 16e12, cooler=None)
+    assert row.wall_power_w == 40.0
+    assert math.isclose(row.mac_per_joule, 16e12 / 40)
+
+
+def test_efficiency_row_with_cooling():
+    row = efficiency_row("RSFQ", 964.0, 80e12, cooler=PAPER_COOLER)
+    assert math.isclose(row.wall_power_w, 964 * 401)
+
+
+def test_efficiency_row_free_cooling():
+    row = efficiency_row("ERSFQ", 1.9, 370e12, cooler=PAPER_COOLER, free_cooling=True)
+    assert row.wall_power_w == 1.9
+
+
+def test_normalization_matches_table3_shape():
+    """ERSFQ free-cooling beats TPU by hundreds of times."""
+    tpu = efficiency_row("TPU", 40.0, 16e12, cooler=None)
+    ersfq = efficiency_row("ERSFQ", 1.9, 370e12, cooler=PAPER_COOLER, free_cooling=True)
+    assert ersfq.normalized_to(tpu) > 100
+
+
+def test_zero_wall_power_rejected():
+    row = EfficiencyRow("x", 0.0, 0.0, 1e12)
+    with pytest.raises(ValueError):
+        row.mac_per_joule

@@ -1,0 +1,58 @@
+"""Pareto-frontier tests over search candidates."""
+
+import pytest
+
+from repro.core.search import Candidate, pareto_frontier, search
+from repro.core.designs import supernpu
+from repro.workloads.models import mobilenet
+
+
+def _candidate(name, perf, area):
+    return Candidate(
+        config=supernpu().with_updates(name=name),
+        mean_mac_per_s=perf,
+        area_mm2_28nm=area,
+        peak_tmacs=1.0,
+    )
+
+
+def test_dominated_points_removed():
+    good = _candidate("good", perf=100.0, area=10.0)
+    dominated = _candidate("bad", perf=50.0, area=20.0)
+    frontier = pareto_frontier([good, dominated])
+    assert frontier == [good]
+
+
+def test_tradeoff_points_kept():
+    small = _candidate("small", perf=50.0, area=5.0)
+    big = _candidate("big", perf=100.0, area=20.0)
+    frontier = pareto_frontier([small, big])
+    assert frontier == [small, big]  # sorted by area
+
+
+def test_frontier_sorted_by_area():
+    points = [
+        _candidate("a", 100.0, 30.0),
+        _candidate("b", 60.0, 10.0),
+        _candidate("c", 80.0, 20.0),
+    ]
+    frontier = pareto_frontier(points)
+    areas = [c.area_mm2_28nm for c in frontier]
+    assert areas == sorted(areas)
+    perfs = [c.mean_mac_per_s for c in frontier]
+    assert perfs == sorted(perfs)  # along a frontier, perf rises with area
+
+
+def test_empty_frontier():
+    assert pareto_frontier([]) == []
+
+
+def test_real_search_frontier_contains_best():
+    results = search(
+        widths=(128, 64), divisions=(64, 256), registers=(1, 8),
+        workloads=[mobilenet()],
+    )
+    frontier = pareto_frontier(results)
+    assert frontier
+    assert results[0] in frontier  # the throughput winner is never dominated
+    assert len(frontier) <= len(results)

@@ -1,0 +1,73 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+
+from repro.core.plotting import MARK, bar_chart, column_chart, sweep_chart
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart({"a": 10.0, "b": 5.0, "c": 2.5}, width=20)
+    lines = chart.splitlines()
+    assert lines[0].count(MARK) == 20
+    assert lines[1].count(MARK) == 10
+    assert lines[2].count(MARK) == 5
+    assert "10" in lines[0]
+
+
+def test_bar_chart_tiny_values_still_visible():
+    chart = bar_chart({"big": 100.0, "tiny": 0.1}, width=20)
+    assert chart.splitlines()[1].count(MARK) >= 1
+
+
+def test_bar_chart_unit_suffix():
+    chart = bar_chart({"x": 2.0}, unit="x")
+    assert chart.endswith("2x")
+
+
+def test_column_chart_shape():
+    chart = column_chart([1.0, 2.0, 4.0], labels=["a", "b", "c"], height=4)
+    lines = chart.splitlines()
+    assert len(lines) == 4 + 2  # rows + axis + labels
+    # The tallest column fills the top row; the shortest does not.
+    assert MARK in lines[0]
+    assert lines[0].count(MARK) == 1
+
+
+def test_column_chart_label_row():
+    chart = column_chart([1.0, 2.0], labels=["one", "two"])
+    assert chart.splitlines()[-1].strip().endswith("two"[-3:])
+
+
+def test_sweep_chart_uses_point_labels(rsfq):
+    from repro.core.optimizer import buffer_sweep
+    from repro.workloads.models import mobilenet
+
+    points = buffer_sweep(workloads=[mobilenet()], library=rsfq, divisions=(2, 64))
+    chart = sweep_chart(points, "max_batch")
+    assert "Baseline" in chart
+    assert "+Division 64" in chart
+
+
+@pytest.mark.parametrize("bad", [{}, {"a": 0.0}])
+def test_bar_chart_validation(bad):
+    with pytest.raises(ValueError):
+        bar_chart(bad)
+
+
+def test_chart_dimension_validation():
+    with pytest.raises(ValueError):
+        bar_chart({"a": 1.0}, width=2)
+    with pytest.raises(ValueError):
+        column_chart([1.0], height=1)
+    with pytest.raises(ValueError):
+        column_chart([1.0], labels=["a", "b"])
+    with pytest.raises(ValueError):
+        column_chart([])
+
+
+def test_cli_sweep_plot(capsys):
+    from repro.cli import main
+
+    assert main(["sweep", "buffers", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert MARK in out and "Baseline" in out

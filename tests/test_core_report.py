@@ -1,0 +1,80 @@
+"""Result-export (JSON/CSV) tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.report import (
+    estimate_record,
+    layer_records,
+    simulation_record,
+    to_csv,
+    to_json,
+)
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+
+
+@pytest.fixture(scope="module")
+def run_and_estimate(rsfq, supernpu_config, tiny_network):
+    estimate = estimate_npu(supernpu_config, rsfq)
+    run = simulate(supernpu_config, tiny_network, batch=2, estimate=estimate)
+    return run, estimate
+
+
+def test_estimate_record_fields(run_and_estimate):
+    _, estimate = run_and_estimate
+    record = estimate_record(estimate)
+    assert record["design"] == "SuperNPU"
+    assert record["frequency_ghz"] == pytest.approx(52.6, rel=0.002)
+    assert "pe_array" in record["units"]
+    assert record["area_mm2_28nm"] < record["area_mm2_native"]
+
+
+def test_simulation_record_fields(run_and_estimate):
+    run, estimate = run_and_estimate
+    record = simulation_record(run, power_report(run, estimate))
+    assert record["network"] == "TinyNet"
+    assert record["batch"] == 2
+    assert record["total_power_w"] == pytest.approx(
+        record["static_power_w"] + record["dynamic_power_w"]
+    )
+    shares = record["preparation_share"] + record["computation_share"] + record["memory_share"]
+    assert shares == pytest.approx(1.0)
+
+
+def test_simulation_record_without_power(run_and_estimate):
+    run, _ = run_and_estimate
+    record = simulation_record(run)
+    assert "total_power_w" not in record
+
+
+def test_layer_records_cover_network(run_and_estimate):
+    run, _ = run_and_estimate
+    records = layer_records(run)
+    assert [r["layer"] for r in records] == ["conv1", "conv2", "fc"]
+    assert sum(r["macs"] for r in records) == run.total_macs
+
+
+def test_json_round_trip(run_and_estimate):
+    run, estimate = run_and_estimate
+    text = to_json(simulation_record(run))
+    assert json.loads(text)["design"] == "SuperNPU"
+    text = to_json(estimate_record(estimate))
+    assert json.loads(text)["technology"] == "rsfq"
+
+
+def test_csv_round_trip(run_and_estimate):
+    run, _ = run_and_estimate
+    text = to_csv(layer_records(run))
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 3
+    assert rows[0]["layer"] == "conv1"
+
+
+def test_csv_rejects_empty():
+    with pytest.raises(ValueError):
+        to_csv([])

@@ -1,0 +1,54 @@
+"""Process-scaling projection tests (paper footnote 2)."""
+
+import pytest
+
+from repro.core.designs import supernpu
+from repro.core.scaling import project, scaling_sweep
+
+
+def test_identity_projection(rsfq, supernpu_config):
+    base = project(supernpu_config, 1.0, rsfq)
+    assert base.frequency_ghz == pytest.approx(52.6, rel=0.002)
+    assert base.peak_tmacs == pytest.approx(862, rel=0.02)
+
+
+def test_linear_frequency_scaling(rsfq, supernpu_config):
+    half = project(supernpu_config, 0.5, rsfq)
+    assert half.frequency_ghz == pytest.approx(2 * 52.6, rel=0.01)
+    assert half.peak_tmacs == pytest.approx(2 * 862, rel=0.02)
+
+
+def test_frequency_clamped_below_02um(rsfq, supernpu_config):
+    """Kadin's rule is only validated down to 0.2 um."""
+    at_02 = project(supernpu_config, 0.2, rsfq)
+    at_01 = project(supernpu_config, 0.1, rsfq)
+    assert at_01.frequency_ghz == at_02.frequency_ghz
+    assert at_01.area_mm2 < at_02.area_mm2  # area keeps shrinking
+
+
+def test_quadratic_area_scaling(rsfq, supernpu_config):
+    full = project(supernpu_config, 1.0, rsfq)
+    quarter = project(supernpu_config, 0.5, rsfq)
+    assert quarter.area_mm2 == pytest.approx(full.area_mm2 / 4, rel=0.01)
+
+
+def test_static_power_conservatively_constant(rsfq, supernpu_config):
+    assert (
+        project(supernpu_config, 0.25, rsfq).static_power_w
+        == project(supernpu_config, 1.0, rsfq).static_power_w
+    )
+
+
+def test_sweep_monotone(rsfq):
+    projections = scaling_sweep(supernpu(), (1.0, 0.5, 0.25, 0.2), rsfq)
+    freqs = [p.frequency_ghz for p in projections]
+    areas = [p.area_mm2 for p in projections]
+    assert freqs == sorted(freqs)
+    assert areas == sorted(areas, reverse=True)
+
+
+def test_28nm_parity_point(rsfq, supernpu_config):
+    """At 28 nm-equivalent area, the clamped clock still reaches 263 GHz."""
+    p = project(supernpu_config, 0.028, rsfq)
+    assert p.frequency_ghz == pytest.approx(5 * 52.6, rel=0.01)
+    assert p.area_mm2 < 400

@@ -1,0 +1,48 @@
+"""Bandwidth / cooling sensitivity tests."""
+
+import pytest
+
+from repro.core.sensitivity import bandwidth_sweep, cooling_sweep
+from repro.workloads.models import mobilenet, resnet50
+
+
+@pytest.fixture(scope="module")
+def small_workloads():
+    return [resnet50(), mobilenet()]
+
+
+def test_bandwidth_sweep_speedup_holds(small_workloads):
+    points = bandwidth_sweep((100, 300, 1200), workloads=small_workloads)
+    assert [p.bandwidth_gbps for p in points] == [100, 300, 1200]
+    # SuperNPU keeps a large lead at every bandwidth (paper operates at 300).
+    for point in points:
+        assert point.speedup > 5
+
+
+def test_sfq_gains_more_from_bandwidth(small_workloads):
+    """The SFQ design is the bandwidth-starved one: extra bandwidth helps it
+    at least as much as the (already well-fed) TPU."""
+    low, high = bandwidth_sweep((100, 1200), workloads=small_workloads)
+    sfq_gain = high.sfq_tmacs / low.sfq_tmacs
+    tpu_gain = high.tpu_tmacs / low.tpu_tmacs
+    assert sfq_gain >= tpu_gain * 0.95
+    assert high.sfq_tmacs >= low.sfq_tmacs
+
+
+def test_cooling_sweep_shape():
+    points = cooling_sweep(factors=(200, 400, 1000), include_carnot=True,
+                           network=resnet50())
+    # First point is the Carnot bound (~70 W/W), then the requested ladder.
+    assert points[0].factor == pytest.approx(70.4, rel=0.01)
+    ersfq = [p.ersfq_perf_per_watt for p in points]
+    rsfq = [p.rsfq_perf_per_watt for p in points]
+    # Efficiency falls monotonically as cooling worsens.
+    assert ersfq == sorted(ersfq, reverse=True)
+    assert rsfq == sorted(rsfq, reverse=True)
+    # ERSFQ dominates RSFQ at every cooling point.
+    assert all(e > r for e, r in zip(ersfq, rsfq))
+
+
+def test_cooling_carnot_bound_makes_ersfq_dominant():
+    points = cooling_sweep(factors=(), include_carnot=True, network=resnet50())
+    assert points[0].ersfq_perf_per_watt > 2.0

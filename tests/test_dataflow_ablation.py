@@ -1,0 +1,70 @@
+"""Output-stationary ablation tests (why the paper chose WS)."""
+
+import pytest
+
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.dataflow_ablation import estimate_os_npu, simulate_os
+from repro.simulator.engine import simulate
+from repro.workloads.models import resnet50, vgg16
+
+
+def test_os_clock_is_counter_flow_bound(rsfq, supernpu_config):
+    os_estimate = estimate_os_npu(supernpu_config, rsfq)
+    ws_estimate = estimate_npu(supernpu_config, rsfq)
+    assert os_estimate.frequency_ghz == pytest.approx(31.8, rel=0.02)
+    assert os_estimate.frequency_ghz < 0.65 * ws_estimate.frequency_ghz
+    assert "OS accumulator" in os_estimate.critical_path
+
+
+def test_os_loses_end_to_end(rsfq, supernpu_config):
+    """The architectural verdict: WS beats OS on a real workload."""
+    network = resnet50()
+    ws = simulate(supernpu_config, network, batch=30,
+                  estimate=estimate_npu(supernpu_config, rsfq))
+    os = simulate_os(supernpu_config, network, batch=30,
+                     estimate=estimate_os_npu(supernpu_config, rsfq))
+    assert ws.mac_per_s > 1.5 * os.mac_per_s
+
+
+def test_os_has_no_psum_movement(rsfq, baseline_config):
+    run = simulate_os(baseline_config, vgg16(), batch=1,
+                      estimate=estimate_os_npu(baseline_config, rsfq))
+    assert all(layer.psum_move_cycles == 0 for layer in run.layers)
+
+
+def test_os_weight_traffic_explodes_on_large_maps(rsfq, supernpu_config):
+    """OS re-streams weights once per output tile, so layers with many
+    output pixels (early convs) amplify weight traffic by orders of
+    magnitude relative to the layer's actual weight volume."""
+    network = vgg16()
+    os = simulate_os(supernpu_config, network, batch=7,
+                     estimate=estimate_os_npu(supernpu_config, rsfq))
+    conv1_1 = network.layers[0]
+    os_first = os.layers[0]
+    # WS streams conv1_1's 1.7 KB of weights once; OS streams a tile per
+    # 256-output group of the 224x224x7 output volume.
+    assert os_first.dram_traffic_bytes > 100 * conv1_1.weight_bytes
+
+
+def test_os_macs_match_ws(rsfq, supernpu_config, tiny_network):
+    ws = simulate(supernpu_config, tiny_network, batch=2,
+                  estimate=estimate_npu(supernpu_config, rsfq))
+    os = simulate_os(supernpu_config, tiny_network, batch=2,
+                     estimate=estimate_os_npu(supernpu_config, rsfq))
+    assert ws.total_macs == os.total_macs
+
+
+def test_os_design_label(rsfq, supernpu_config, tiny_network):
+    run = simulate_os(supernpu_config, tiny_network, batch=1,
+                      estimate=estimate_os_npu(supernpu_config, rsfq))
+    assert run.design.endswith("(OS)")
+
+
+def test_os_batch_validation(supernpu_config, tiny_network):
+    with pytest.raises(ValueError):
+        simulate_os(supernpu_config, tiny_network, batch=0)
+
+
+def test_os_default_library(supernpu_config, tiny_network):
+    run = simulate_os(supernpu_config, tiny_network, batch=1)
+    assert run.frequency_ghz == pytest.approx(31.8, rel=0.02)

@@ -1,0 +1,39 @@
+"""Physical-constant sanity checks."""
+
+import math
+
+from repro.device.constants import (
+    PHI0_BAR_MV_PS,
+    PHI0_MV_PS,
+    PHI0_WB,
+    jj_switch_energy_aj,
+    thermal_energy_aj,
+)
+
+
+def test_flux_quantum_value():
+    assert math.isclose(PHI0_WB, 2.067833848e-15, rel_tol=1e-9)
+
+
+def test_flux_quantum_unit_conversion():
+    # 1 V*s = 1e3 mV * 1e12 ps.
+    assert math.isclose(PHI0_MV_PS, PHI0_WB * 1e15, rel_tol=1e-12)
+
+
+def test_reduced_flux_quantum():
+    assert math.isclose(PHI0_BAR_MV_PS * 2 * math.pi, PHI0_MV_PS, rel_tol=1e-12)
+
+
+def test_switch_energy_70ua_matches_paper_order():
+    # The paper quotes ~1e-19 J per switching; a 70 uA JJ gives 0.145 aJ.
+    energy = jj_switch_energy_aj(70.0)
+    assert math.isclose(energy, 0.1447, rel_tol=1e-3)
+
+
+def test_switch_energy_linear_in_current():
+    assert math.isclose(jj_switch_energy_aj(140.0), 2 * jj_switch_energy_aj(70.0))
+
+
+def test_thermal_energy_far_below_switch_energy():
+    # Bit energies must sit far above k_B * T at 4.2 K for reliability.
+    assert thermal_energy_aj() < 0.01 * jj_switch_energy_aj(70.0)

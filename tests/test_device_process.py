@@ -1,0 +1,59 @@
+"""Fabrication-process model tests."""
+
+import math
+
+import pytest
+
+from repro.device.process import AIST_10UM, CMOS_28NM_UM, FabricationProcess
+
+
+def test_aist_process_parameters():
+    assert AIST_10UM.feature_size_um == 1.0
+    assert AIST_10UM.critical_current_density_ka_cm2 == 10.0
+    assert AIST_10UM.bias_voltage_mv == 2.5
+    assert AIST_10UM.bias_current_ua == 70.0
+
+
+def test_jj_static_power_matches_paper():
+    # 2.5 mV * 70 uA = 0.175 uW per resistor-biased junction (Section VI-C).
+    assert math.isclose(AIST_10UM.jj_static_power_uw, 0.175, rel_tol=1e-9)
+
+
+def test_area_scaling_is_quadratic():
+    assert math.isclose(AIST_10UM.area_scale_factor(0.5), 0.25)
+    assert math.isclose(AIST_10UM.area_scale_factor(2.0), 4.0)
+
+
+def test_area_scale_to_28nm():
+    factor = AIST_10UM.area_scale_factor(CMOS_28NM_UM)
+    assert math.isclose(factor, 0.028**2, rel_tol=1e-12)
+
+
+def test_frequency_scaling_linear_until_clamp():
+    # Kadin et al.: frequency scales with 1/feature down to 0.2 um.
+    assert math.isclose(AIST_10UM.frequency_scale_factor(0.5), 2.0)
+    assert math.isclose(AIST_10UM.frequency_scale_factor(0.2), 5.0)
+    # Below the clamp no further gain is credited.
+    assert math.isclose(AIST_10UM.frequency_scale_factor(0.05), 5.0)
+
+
+def test_scaled_process_shrinks_area():
+    scaled = AIST_10UM.scaled(0.5)
+    assert scaled.feature_size_um == 0.5
+    assert math.isclose(scaled.jj_area_um2, AIST_10UM.jj_area_um2 * 0.25)
+
+
+def test_scaled_process_custom_name():
+    assert AIST_10UM.scaled(0.5, name="half").name == "half"
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_invalid_target_feature_rejected(bad):
+    with pytest.raises(ValueError):
+        AIST_10UM.area_scale_factor(bad)
+    with pytest.raises(ValueError):
+        AIST_10UM.frequency_scale_factor(bad)
+
+
+def test_switch_energy_property():
+    assert AIST_10UM.jj_switch_energy_aj > 0

@@ -1,0 +1,94 @@
+"""Architecture-level estimator tests (Table I anchors)."""
+
+import math
+
+import pytest
+
+from repro.estimator.arch_level import (
+    INTERFACE_DISTANCE_MM,
+    build_units,
+    estimate_npu,
+    interface_gate_pairs,
+)
+
+
+def test_npu_clock_matches_table1(rsfq, baseline_config):
+    """Table I: every SFQ design runs at 52.6 GHz."""
+    estimate = estimate_npu(baseline_config, rsfq)
+    assert math.isclose(estimate.frequency_ghz, 52.6, rel_tol=0.002)
+
+
+def test_all_designs_share_the_clock(rsfq, baseline_config, supernpu_config):
+    f1 = estimate_npu(baseline_config, rsfq).frequency_ghz
+    f2 = estimate_npu(supernpu_config, rsfq).frequency_ghz
+    assert f1 == f2
+
+
+def test_interface_pair_is_critical(rsfq, baseline_config):
+    estimate = estimate_npu(baseline_config, rsfq)
+    assert "inter-unit" in estimate.critical_path
+
+
+def test_shorter_interface_raises_clock(rsfq, baseline_config):
+    near = estimate_npu(baseline_config, rsfq, interface_distance_mm=0.3)
+    far = estimate_npu(baseline_config, rsfq, interface_distance_mm=2.0)
+    assert near.frequency_ghz > far.frequency_ghz
+
+
+def test_peak_performance_table1(rsfq, baseline_config, supernpu_config):
+    """Table I peaks: ~3.4 PMAC/s for 256x256, ~0.86 for 64x256."""
+    big = estimate_npu(baseline_config, rsfq)
+    small = estimate_npu(supernpu_config, rsfq)
+    assert 3300 <= big.peak_tmacs <= 3500
+    assert 820 <= small.peak_tmacs <= 880
+    assert math.isclose(big.peak_tmacs / small.peak_tmacs, 4.0, rel_tol=1e-6)
+
+
+def test_area_scaled_to_28nm_within_tpu_budget(rsfq, baseline_config, supernpu_config):
+    """Table I: both designs land under the TPU's <330 mm2 at 28 nm."""
+    for config in (baseline_config, supernpu_config):
+        area = estimate_npu(config, rsfq).area_mm2_scaled()
+        assert 250 <= area <= 330
+
+
+def test_supernpu_static_power_near_paper(rsfq, supernpu_config):
+    """Table III: RSFQ-SuperNPU dissipates ~964 W of bias power."""
+    estimate = estimate_npu(supernpu_config, rsfq)
+    assert 900 <= estimate.static_power_w <= 1030
+
+
+def test_ersfq_static_power_is_zero(ersfq, supernpu_config):
+    assert estimate_npu(supernpu_config, ersfq).static_power_w == 0.0
+
+
+def test_build_units_composition(baseline_config, supernpu_config):
+    units = build_units(baseline_config)
+    assert {"pe_array", "network", "dau", "ifmap_buffer", "weight_buffer",
+            "output_buffer", "psum_buffer", "relu", "maxpool"} == set(units)
+    integrated = build_units(supernpu_config)
+    assert "psum_buffer" not in integrated
+    assert integrated["output_buffer"].kind == "integrated-output-buffer"
+
+
+def test_interface_pairs_resolve(rsfq):
+    pairs = interface_gate_pairs(INTERFACE_DISTANCE_MM)
+    assert len(pairs) == 1
+    constraint = pairs[0].resolve(rsfq)
+    assert math.isclose(constraint.cycle_time_ps, 19.013, rel_tol=1e-3)
+
+
+def test_estimate_includes_wiring(rsfq, baseline_config):
+    estimate = estimate_npu(baseline_config, rsfq)
+    assert estimate.wiring_area_mm2 > 0
+    assert estimate.wiring_static_power_w > 0
+    assert estimate.area_mm2 > sum(u.area_mm2 for u in estimate.units.values())
+
+
+def test_buffers_dominate_supernpu_power(rsfq, supernpu_config):
+    """The shift-register buffers are the static-power hogs."""
+    estimate = estimate_npu(supernpu_config, rsfq)
+    buffers = (
+        estimate.units["ifmap_buffer"].static_power_w
+        + estimate.units["output_buffer"].static_power_w
+    )
+    assert buffers > 0.75 * estimate.static_power_w

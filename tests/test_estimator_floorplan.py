@@ -1,0 +1,64 @@
+"""Floorplan adjacency tests — why Table I's clock is design-independent."""
+
+import pytest
+
+from repro.core.designs import all_designs
+from repro.estimator.arch_level import estimate_npu
+from repro.estimator.floorplan import (
+    ROUTING_ALLOWANCE_MM,
+    floorplan,
+    implied_frequency_ghz,
+)
+
+
+@pytest.mark.parametrize("config", all_designs(), ids=lambda c: c.name)
+def test_every_design_keeps_interfaces_adjacent(rsfq, config):
+    plan = floorplan(config, rsfq)
+    assert plan.all_interfaces_adjacent
+    assert plan.worst_interface_mm == pytest.approx(ROUTING_ALLOWANCE_MM)
+
+
+@pytest.mark.parametrize("config", all_designs(), ids=lambda c: c.name)
+def test_implied_clock_reproduces_calibration(rsfq, config):
+    implied = implied_frequency_ghz(config, rsfq)
+    calibrated = estimate_npu(config, rsfq).frequency_ghz
+    assert implied == pytest.approx(calibrated)
+
+
+def test_placed_area_matches_unit_areas(rsfq, supernpu_config):
+    from repro.estimator.arch_level import build_units
+
+    plan = floorplan(supernpu_config, rsfq)
+    units = build_units(supernpu_config)
+    for name, block in plan.blocks.items():
+        assert block.area_mm2 == pytest.approx(units[name].area_mm2(rsfq), rel=1e-6)
+
+
+def test_packing_is_tight(rsfq, supernpu_config):
+    plan = floorplan(supernpu_config, rsfq)
+    assert plan.packing_efficiency > 0.95
+    assert plan.die_area_mm2 >= sum(b.area_mm2 for b in plan.blocks.values())
+
+
+def test_pe_array_aspect_follows_config(rsfq):
+    from repro.core.designs import supernpu
+
+    plan = floorplan(supernpu(), rsfq)
+    pe = plan.blocks["pe_array"]
+    # 64 x 256 array -> block four times taller than wide.
+    assert pe.height_mm / pe.width_mm == pytest.approx(4.0, rel=0.01)
+
+
+def test_baseline_includes_psum_block(rsfq, baseline_config, supernpu_config):
+    assert "psum_buffer" in floorplan(baseline_config, rsfq).blocks
+    assert "psum_buffer" not in floorplan(supernpu_config, rsfq).blocks
+
+
+def test_interface_set(rsfq, baseline_config):
+    plan = floorplan(baseline_config, rsfq)
+    assert set(plan.edge_gaps_mm) == {
+        "ifmap_buffer->dau",
+        "dau->pe_array",
+        "pe_array->output_buffer",
+        "weight_buffer->pe_array",
+    }

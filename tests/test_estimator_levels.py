@@ -1,0 +1,73 @@
+"""Gate- and microarchitecture-level estimator tests."""
+
+import math
+
+import pytest
+
+from repro.device import cells
+from repro.estimator.gate_level import gate_table
+from repro.estimator.uarch_level import estimate_unit
+from repro.uarch.buffers import ShiftRegisterBuffer
+from repro.uarch.mac import MACUnit
+from repro.uarch.network import SystolicChain
+
+
+def test_gate_table_covers_library(rsfq):
+    table = gate_table(rsfq)
+    assert set(table) == set(rsfq.names)
+
+
+def test_gate_table_row_contents(rsfq):
+    row = gate_table(rsfq)[cells.AND]
+    assert row.delay_ps == 8.3
+    assert row.static_power_uw == 3.6
+    assert math.isclose(row.area_um2, 11 * rsfq.process.jj_area_um2)
+
+
+def test_estimate_unit_fields(rsfq):
+    estimate = estimate_unit(MACUnit(8, 24), rsfq, name="mac8")
+    assert estimate.name == "mac8"
+    assert estimate.kind == "mac"
+    assert estimate.gate_count > 0
+    assert estimate.jj_count > estimate.gate_count  # several JJs per gate
+    assert estimate.has_frequency
+    assert 60.0 <= estimate.frequency_ghz <= 66.7
+    assert estimate.static_power_w > 0
+    assert estimate.area_mm2 > 0
+    assert "XOR->AND" in estimate.critical_pair or "carry" in estimate.critical_pair
+
+
+def test_estimate_unit_energy_split_consistent(rsfq):
+    estimate = estimate_unit(MACUnit(8, 24), rsfq)
+    assert math.isclose(
+        estimate.access_energy_clocked_j + estimate.access_energy_wire_j,
+        estimate.access_energy_j,
+        rel_tol=1e-12,
+    )
+
+
+def test_ersfq_unit_has_no_static_power(ersfq):
+    estimate = estimate_unit(MACUnit(8, 24), ersfq)
+    assert estimate.static_power_w == 0.0
+    assert estimate.access_energy_j > 0
+
+
+def test_ersfq_doubles_unit_energy(rsfq, ersfq):
+    unit = ShiftRegisterBuffer(1024, io_width=4)
+    e_rsfq = estimate_unit(unit, rsfq).access_energy_j
+    e_ersfq = estimate_unit(unit, ersfq).access_energy_j
+    assert math.isclose(e_ersfq, 2 * e_rsfq, rel_tol=1e-12)
+
+
+def test_network_unit_reports_frequency(rsfq):
+    estimate = estimate_unit(SystolicChain(16, 8), rsfq)
+    assert estimate.has_frequency  # the DFF-DFF hop is clocked
+
+
+def test_timing_independent_of_replication(rsfq):
+    from repro.estimator.arch_level import ReplicatedUnit
+
+    one = estimate_unit(MACUnit(8, 24), rsfq)
+    many = estimate_unit(ReplicatedUnit(MACUnit(8, 24), 100), rsfq)
+    assert many.frequency_ghz == one.frequency_ghz
+    assert math.isclose(many.static_power_w, 100 * one.static_power_w, rel_tol=1e-9)

@@ -1,0 +1,55 @@
+"""Fig. 13 model-validation tests."""
+
+import pytest
+
+from repro.estimator.validation import (
+    MAX_AREA_ERROR,
+    MAX_FREQUENCY_ERROR,
+    MAX_POWER_ERROR,
+    REFERENCES,
+    all_within_envelope,
+    prototype_mac_unit,
+    prototype_npu_config,
+    prototype_sr_mem,
+    validate,
+)
+
+
+def test_validation_covers_all_prototypes():
+    rows = validate()
+    assert set(rows) == {"mac_unit", "sr_mem", "nw_unit", "npu_2x2"}
+
+
+def test_all_errors_within_paper_envelope():
+    """The headline Fig. 13 claim: model matches measurement closely."""
+    assert all_within_envelope()
+
+
+def test_per_prototype_error_bounds():
+    for row in validate().values():
+        if row.frequency_error is not None:
+            assert row.frequency_error <= MAX_FREQUENCY_ERROR
+        assert row.power_error <= MAX_POWER_ERROR
+        assert row.area_error <= MAX_AREA_ERROR
+
+
+def test_nw_unit_has_no_frequency_reference():
+    """The paper notes the NW unit alone reports no frequency."""
+    assert REFERENCES["nw_unit"].frequency_ghz is None
+    assert validate()["nw_unit"].frequency_error is None
+
+
+def test_prototype_shapes():
+    assert prototype_mac_unit().bits == 4
+    assert prototype_sr_mem().total_entries == 8
+    config = prototype_npu_config()
+    assert config.num_pes == 4
+    assert config.data_bits == 4
+
+
+def test_npu_prototype_error_profile():
+    """The paper reports 4.7% / 2.3% / 9.5% for the 2x2 NPU."""
+    row = validate()["npu_2x2"]
+    assert row.frequency_error == pytest.approx(0.047, abs=0.005)
+    assert row.power_error == pytest.approx(0.023, abs=0.005)
+    assert row.area_error == pytest.approx(0.095, abs=0.01)

@@ -1,0 +1,57 @@
+"""Timing-variation Monte Carlo tests."""
+
+import numpy as np
+import pytest
+
+from repro.estimator.variation import (
+    VariationReport,
+    monte_carlo_frequency,
+    perturbed_library,
+)
+
+
+def test_zero_sigma_reproduces_nominal(rsfq, supernpu_config):
+    report = monte_carlo_frequency(supernpu_config, sigma=0.0, trials=3, library=rsfq)
+    assert all(f == pytest.approx(report.nominal_ghz) for f in report.frequencies_ghz)
+    assert report.yield_at(report.nominal_ghz) == 1.0
+
+
+def test_variation_spreads_frequency(rsfq, supernpu_config):
+    report = monte_carlo_frequency(supernpu_config, sigma=0.08, trials=25, library=rsfq)
+    assert report.worst_ghz < report.nominal_ghz
+    assert report.trials == 25
+    assert len(set(report.frequencies_ghz)) > 1
+
+
+def test_yield_frequency_tradeoff(rsfq, supernpu_config):
+    report = monte_carlo_frequency(supernpu_config, sigma=0.08, trials=25, library=rsfq)
+    relaxed = report.frequency_at_yield(0.5)
+    strict = report.frequency_at_yield(1.0)
+    assert strict <= relaxed
+    assert report.yield_at(strict) == 1.0
+
+
+def test_deterministic_given_seed(rsfq, supernpu_config):
+    a = monte_carlo_frequency(supernpu_config, sigma=0.05, trials=5, seed=7, library=rsfq)
+    b = monte_carlo_frequency(supernpu_config, sigma=0.05, trials=5, seed=7, library=rsfq)
+    assert a.frequencies_ghz == b.frequencies_ghz
+
+
+def test_perturbed_library_changes_timing_only(rsfq):
+    rng = np.random.default_rng(0)
+    jittered = perturbed_library(rsfq, 0.1, rng)
+    for name in rsfq.names:
+        assert jittered[name].static_power_uw == rsfq[name].static_power_uw
+        assert jittered[name].jj_count == rsfq[name].jj_count
+    changed = any(jittered[n].delay_ps != rsfq[n].delay_ps for n in rsfq.names)
+    assert changed
+
+
+def test_parameter_validation(rsfq, supernpu_config):
+    with pytest.raises(ValueError):
+        monte_carlo_frequency(supernpu_config, trials=0, library=rsfq)
+    with pytest.raises(ValueError):
+        perturbed_library(rsfq, -0.1, np.random.default_rng(0))
+    report = VariationReport(52.6, 0.05, 2, (50.0, 51.0))
+    with pytest.raises(ValueError):
+        report.frequency_at_yield(0.0)

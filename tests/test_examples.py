@@ -1,0 +1,44 @@
+"""The examples must actually run (they are documentation that executes)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_workload.py",
+    "gate_level_pipeline.py",
+    "cosim_tiny_cnn.py",
+    "jsim_pulse_demo.py",
+    "cooling_study.py",
+    "paper_walkthrough.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script  # every example narrates its results
+    assert "Traceback" not in out
+
+
+def test_quickstart_reports_speedup(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "TMAC/s" in out
+
+
+def test_example_inventory_matches_readme():
+    """Every example on disk is runnable Python with a docstring."""
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), script.name
+        assert "__main__" in text, script.name

@@ -1,0 +1,69 @@
+"""Functional DAU tests: stream selection, bubbles, delay schedule."""
+
+import numpy as np
+import pytest
+
+from repro.functional.dau import (
+    aligned_streams,
+    delay_schedule,
+    reduction_index_to_weight,
+    row_stream,
+)
+
+
+def test_reduction_index_decomposition():
+    # 2 channels, 3x3 kernel: index = c*9 + r*3 + s.
+    assert reduction_index_to_weight(0, 2, 3, 3) == (0, 0, 0)
+    assert reduction_index_to_weight(4, 2, 3, 3) == (0, 1, 1)
+    assert reduction_index_to_weight(9, 2, 3, 3) == (1, 0, 0)
+    assert reduction_index_to_weight(17, 2, 3, 3) == (1, 2, 2)
+    with pytest.raises(ValueError):
+        reduction_index_to_weight(18, 2, 3, 3)
+
+
+def test_row_stream_matches_im2col():
+    """Each row's stream must equal the corresponding im2col row."""
+    rng = np.random.default_rng(1)
+    ifmap = rng.integers(1, 9, size=(2, 5, 5)).astype(np.int64)
+    kernel_h = kernel_w = 3
+    for index in range(2 * 9):
+        channel, r, s = reduction_index_to_weight(index, 2, 3, 3)
+        stream = row_stream(ifmap, index, kernel_h, kernel_w, stride=1, padding=0)
+        expected = np.array(
+            [ifmap[channel, e + r, f + s] for e in range(3) for f in range(3)]
+        )
+        assert np.array_equal(stream, expected)
+
+
+def test_bubbles_inserted_at_padding():
+    """Fig. 9: zero 'bubbles' fill positions that fall into the padding."""
+    ifmap = np.ones((1, 3, 3), dtype=np.int64)
+    stream = row_stream(ifmap, 0, 3, 3, stride=1, padding=1)
+    # Weight (0,0,0): the window's top-left corner misses the image for the
+    # entire first output row and first output column.
+    grid = stream.reshape(3, 3)
+    assert np.all(grid[0, :] == 0)
+    assert np.all(grid[:, 0] == 0)
+    assert np.all(grid[1:, 1:] == 1)
+
+
+def test_stride_selects_alternate_pixels():
+    ifmap = np.arange(16, dtype=np.int64).reshape(1, 4, 4)
+    stream = row_stream(ifmap, 0, 1, 1, stride=2, padding=0)
+    assert np.array_equal(stream, np.array([0, 2, 8, 10]))
+
+
+def test_aligned_streams_stacking():
+    ifmap = np.arange(8, dtype=np.int64).reshape(2, 2, 2)
+    streams = aligned_streams(ifmap, [0, 1], 1, 1)
+    assert streams.shape == (2, 4)
+    assert np.array_equal(streams[0], ifmap[0].ravel())
+    assert np.array_equal(streams[1], ifmap[1].ravel())
+
+
+def test_delay_schedule_paper_example():
+    """Fig. 9: 3-stage PEs delay the second row by 2 cycles."""
+    assert delay_schedule(4, 3) == [0, 2, 4, 6]
+    assert delay_schedule(3, 15) == [0, 14, 28]
+    with pytest.raises(ValueError):
+        delay_schedule(0, 3)

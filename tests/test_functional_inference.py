@@ -1,0 +1,82 @@
+"""End-to-end quantized inference on the functional systolic NPU."""
+
+import numpy as np
+import pytest
+
+from repro.functional.inference import (
+    FunctionalNPU,
+    QuantConvLayer,
+    QuantFCLayer,
+    TinyQuantCNN,
+    max_pool2d,
+    top1_agreement,
+)
+
+
+@pytest.fixture(scope="module")
+def npu():
+    return FunctionalNPU(array_rows=16, array_cols=4)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyQuantCNN.random(seed=1)
+
+
+def test_max_pool():
+    activation = np.arange(16, dtype=float).reshape(1, 4, 4)
+    pooled = max_pool2d(activation)
+    assert pooled.shape == (1, 2, 2)
+    assert pooled[0, 0, 0] == 5
+    assert pooled[0, 1, 1] == 15
+
+
+def test_conv_layer_close_to_float(npu):
+    rng = np.random.default_rng(0)
+    layer = QuantConvLayer(rng.normal(0, 0.5, size=(4, 2, 3, 3)), padding=1, relu=False)
+    activation = rng.normal(0, 1, size=(2, 8, 8))
+    from repro.functional.reference import conv2d_reference
+
+    quantized = npu.run_conv(layer, activation)
+    reference = conv2d_reference(activation, layer.weights, 1, 1)
+    rel_err = np.linalg.norm(quantized - reference) / np.linalg.norm(reference)
+    assert rel_err < 0.05
+
+
+def test_relu_applied(npu):
+    rng = np.random.default_rng(2)
+    layer = QuantConvLayer(rng.normal(0, 0.5, size=(4, 2, 3, 3)), padding=1, relu=True)
+    output = npu.run_conv(layer, rng.normal(0, 1, size=(2, 8, 8)))
+    assert output.min() >= 0.0
+
+
+def test_fc_layer_close_to_float(npu):
+    rng = np.random.default_rng(3)
+    layer = QuantFCLayer(rng.normal(0, 0.5, size=(10, 32)))
+    activation = rng.normal(0, 1, size=(2, 4, 4))
+    quantized = npu.run_fc(layer, activation)
+    reference = layer.weights @ activation.reshape(-1)
+    rel_err = np.linalg.norm(quantized - reference) / np.linalg.norm(reference)
+    assert rel_err < 0.05
+    assert quantized.shape == (10,)
+
+
+def test_full_network_top1_agreement(model, npu):
+    """Int8 systolic inference agrees with the float reference on argmax."""
+    rng = np.random.default_rng(4)
+    images = rng.normal(0, 1, size=(10, 1, 12, 12))
+    assert top1_agreement(model, npu, images) >= 0.9
+
+
+def test_full_network_numeric_error(model, npu):
+    rng = np.random.default_rng(5)
+    image = rng.normal(0, 1, size=(1, 12, 12))
+    quantized = model.forward_systolic(image, npu)
+    reference = model.forward_reference(image)
+    rel_err = np.linalg.norm(quantized - reference) / np.linalg.norm(reference)
+    assert rel_err < 0.12  # three quantized stages compound error
+
+
+def test_agreement_validates_shape(model, npu):
+    with pytest.raises(ValueError):
+        top1_agreement(model, npu, np.zeros((1, 12, 12)))

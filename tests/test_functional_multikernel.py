@@ -1,0 +1,77 @@
+"""Multi-register (multi-kernel) PE functional tests (Section V-B3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional.multikernel import MultiKernelArray, conv2d_multikernel
+from repro.functional.reference import conv2d_reference
+
+
+def _case(seed, channels=3, size=6, filters=17, kernel=3):
+    rng = np.random.default_rng(seed)
+    ifmap = rng.integers(-8, 8, size=(channels, size, size)).astype(np.int64)
+    weights = rng.integers(-4, 4, size=(filters, channels, kernel, kernel)).astype(np.int64)
+    return ifmap, weights
+
+
+def test_filters_per_mapping():
+    array = MultiKernelArray(8, 4, registers=8)
+    assert array.filters_per_mapping == 32
+
+
+def test_register_planes_partition_filters():
+    array = MultiKernelArray(2, 2, registers=2)
+    tile = np.arange(8, dtype=np.int64).reshape(2, 4)
+    array.load_weights(tile)
+    streams = np.array([[1, 0], [0, 1]], dtype=np.int64)
+    out = array.run(streams)
+    # 4 filters: columns 0-1 are register 0, columns 2-3 register 1.
+    assert out.shape == (4, 2)
+    assert np.array_equal(out[0], streams[0] * tile[0, 0] + streams[1] * tile[1, 0])
+    assert np.array_equal(out[2], streams[0] * tile[0, 2] + streams[1] * tile[1, 2])
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        MultiKernelArray(2, 2, registers=0)
+    array = MultiKernelArray(2, 2, registers=2)
+    with pytest.raises(ValueError):
+        array.load_weights(np.ones((2, 5), dtype=np.int64))
+    with pytest.raises(ValueError):
+        conv2d_multikernel(
+            np.ones((2, 4, 4), dtype=np.int64),
+            np.ones((1, 3, 1, 1), dtype=np.int64),
+            4, 2, 2,
+        )
+
+
+@pytest.mark.parametrize("registers", [1, 2, 4, 8])
+def test_multikernel_equals_reference(registers):
+    ifmap, weights = _case(seed=registers)
+    expected = conv2d_reference(ifmap, weights, 1, 1)
+    actual = conv2d_multikernel(ifmap, weights, 8, 2, registers, 1, 1)
+    assert np.array_equal(expected, actual)
+
+
+def test_registers_reduce_mappings_not_results():
+    """SuperNPU's claim: 8 registers change the schedule, not the math."""
+    ifmap, weights = _case(seed=42, filters=16)
+    flat = conv2d_multikernel(ifmap, weights, 27, 2, 1, 1, 1)
+    stacked = conv2d_multikernel(ifmap, weights, 27, 2, 8, 1, 1)
+    assert np.array_equal(flat, stacked)
+
+
+@given(
+    seed=st.integers(0, 1000),
+    registers=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    filters=st.integers(1, 10),
+)
+@settings(max_examples=20, deadline=None)
+def test_multikernel_property(seed, registers, cols, filters):
+    ifmap, weights = _case(seed=seed, channels=2, size=5, filters=filters, kernel=2)
+    expected = conv2d_reference(ifmap, weights, 1, 0)
+    actual = conv2d_multikernel(ifmap, weights, 8, cols, registers, 1, 0)
+    assert np.array_equal(expected, actual)

@@ -1,0 +1,73 @@
+"""Output-stationary functional array tests (Fig. 6(b) dataflow)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional.os_systolic import OSSystolicArray, conv2d_os
+from repro.functional.reference import conv2d_reference
+from repro.functional.systolic import conv2d_systolic
+
+
+def test_single_pe_dot_product():
+    array = OSSystolicArray(1, 1)
+    out = array.run(
+        np.array([[1, 2, 3]], dtype=np.int64),
+        np.array([[4, 5, 6]], dtype=np.int64),
+    )
+    assert out[0, 0] == 4 + 10 + 18
+
+
+def test_grid_outer_structure():
+    array = OSSystolicArray(2, 3)
+    x = np.array([[1, 0], [0, 1]], dtype=np.int64)
+    w = np.array([[2, 3], [5, 7], [11, 13]], dtype=np.int64)
+    out = array.run(x, w)
+    # out[r, c] = dot(x[r], w[c]).
+    assert np.array_equal(out, x @ w.T)
+
+
+def test_stream_validation():
+    array = OSSystolicArray(2, 2)
+    with pytest.raises(ValueError):
+        array.run(np.zeros((3, 4), dtype=np.int64), np.zeros((1, 4), dtype=np.int64))
+    with pytest.raises(ValueError):
+        array.run(np.zeros((1, 4), dtype=np.int64), np.zeros((1, 5), dtype=np.int64))
+    with pytest.raises(ValueError):
+        OSSystolicArray(0, 1)
+
+
+@pytest.mark.parametrize(
+    "rows,cols,stride,padding",
+    [(8, 4, 1, 1), (16, 2, 2, 0), (3, 3, 1, 1), (50, 5, 1, 0)],
+)
+def test_os_conv_equals_reference(rows, cols, stride, padding):
+    rng = np.random.default_rng(rows * cols)
+    ifmap = rng.integers(-8, 8, size=(3, 6, 6)).astype(np.int64)
+    weights = rng.integers(-4, 4, size=(5, 3, 3, 3)).astype(np.int64)
+    expected = conv2d_reference(ifmap, weights, stride, padding)
+    actual = conv2d_os(ifmap, weights, rows, cols, stride, padding)
+    assert np.array_equal(expected, actual)
+
+
+def test_both_dataflows_agree():
+    """WS and OS must compute identical results (Fig. 6: same math,
+    different movement)."""
+    rng = np.random.default_rng(9)
+    ifmap = rng.integers(-8, 8, size=(2, 5, 5)).astype(np.int64)
+    weights = rng.integers(-4, 4, size=(3, 2, 3, 3)).astype(np.int64)
+    ws = conv2d_systolic(ifmap, weights, 18, 3, 1, 1)
+    os = conv2d_os(ifmap, weights, 9, 2, 1, 1)
+    assert np.array_equal(ws, os)
+
+
+@given(seed=st.integers(0, 500), rows=st.integers(1, 12), cols=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_os_conv_property(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    ifmap = rng.integers(-5, 6, size=(2, 4, 4)).astype(np.int64)
+    weights = rng.integers(-3, 4, size=(3, 2, 2, 2)).astype(np.int64)
+    expected = conv2d_reference(ifmap, weights, 1, 0)
+    actual = conv2d_os(ifmap, weights, rows, cols, 1, 0)
+    assert np.array_equal(expected, actual)

@@ -1,0 +1,67 @@
+"""Quantizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional.quantize import (
+    QuantParams,
+    calibrate,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        QuantParams(scale=0)
+    with pytest.raises(ValueError):
+        QuantParams(scale=1.0, bits=1)
+
+
+def test_quant_range():
+    params = QuantParams(scale=1.0, bits=8)
+    assert params.qmax == 127
+    assert params.qmin == -128
+
+
+def test_calibrate_covers_peak():
+    tensor = np.array([-2.0, 0.5, 4.0])
+    params = calibrate(tensor)
+    assert quantize(tensor, params).max() == 127
+
+
+def test_calibrate_zero_tensor():
+    params = calibrate(np.zeros(4))
+    assert params.scale > 0
+    assert np.all(quantize(np.zeros(4), params) == 0)
+
+
+def test_round_trip_error_small():
+    rng = np.random.default_rng(0)
+    tensor = rng.normal(0, 1, size=1000)
+    assert quantization_error(tensor, bits=8) < 0.02
+    assert quantization_error(tensor, bits=4) < 0.2
+
+
+def test_more_bits_less_error():
+    rng = np.random.default_rng(1)
+    tensor = rng.normal(0, 1, size=500)
+    assert quantization_error(tensor, 8) < quantization_error(tensor, 4)
+
+
+def test_dequantize_inverse_scale():
+    params = QuantParams(scale=0.5)
+    assert np.allclose(dequantize(np.array([2, -4]), params), [1.0, -2.0])
+
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_quantize_stays_in_range(values):
+    tensor = np.array(values)
+    params = calibrate(tensor)
+    q = quantize(tensor, params)
+    assert q.max() <= params.qmax
+    assert q.min() >= params.qmin

@@ -1,0 +1,74 @@
+"""Reference-convolution tests (hand-computed cases)."""
+
+import numpy as np
+import pytest
+
+from repro.functional.reference import conv2d_reference, depthwise_reference
+
+
+def test_identity_kernel():
+    ifmap = np.arange(9, dtype=np.int64).reshape(1, 3, 3)
+    kernel = np.array([[[[1]]]], dtype=np.int64)
+    assert np.array_equal(conv2d_reference(ifmap, kernel), ifmap)
+
+
+def test_hand_computed_3x3():
+    ifmap = np.ones((1, 3, 3), dtype=np.int64)
+    kernel = np.ones((1, 1, 3, 3), dtype=np.int64)
+    out = conv2d_reference(ifmap, kernel)
+    assert out.shape == (1, 1, 1)
+    assert out[0, 0, 0] == 9
+
+
+def test_padding_adds_zero_border():
+    ifmap = np.ones((1, 2, 2), dtype=np.int64)
+    kernel = np.ones((1, 1, 3, 3), dtype=np.int64)
+    out = conv2d_reference(ifmap, kernel, padding=1)
+    assert out.shape == (1, 2, 2)
+    # Every window sees the same four ones.
+    assert np.all(out == 4)
+
+
+def test_stride_subsamples():
+    ifmap = np.arange(16, dtype=np.int64).reshape(1, 4, 4)
+    kernel = np.array([[[[1]]]], dtype=np.int64)
+    out = conv2d_reference(ifmap, kernel, stride=2)
+    assert np.array_equal(out[0], np.array([[0, 2], [8, 10]]))
+
+
+def test_multi_channel_sums_over_channels():
+    ifmap = np.stack([np.ones((2, 2)), 2 * np.ones((2, 2))]).astype(np.int64)
+    kernel = np.ones((1, 2, 1, 1), dtype=np.int64)
+    out = conv2d_reference(ifmap, kernel)
+    assert np.all(out == 3)
+
+
+def test_multiple_filters_independent():
+    ifmap = np.ones((1, 2, 2), dtype=np.int64)
+    kernel = np.stack([np.ones((1, 1, 1)), 5 * np.ones((1, 1, 1))]).astype(np.int64)
+    out = conv2d_reference(ifmap, kernel)
+    assert np.all(out[0] == 1)
+    assert np.all(out[1] == 5)
+
+
+def test_depthwise_keeps_channels_separate():
+    ifmap = np.stack([np.ones((3, 3)), 10 * np.ones((3, 3))]).astype(np.int64)
+    weights = np.ones((2, 3, 3), dtype=np.int64)
+    out = depthwise_reference(ifmap, weights, padding=1)
+    assert out.shape == (2, 3, 3)
+    assert out[0, 1, 1] == 9
+    assert out[1, 1, 1] == 90
+
+
+def test_shape_validation():
+    ifmap = np.ones((1, 3, 3), dtype=np.int64)
+    with pytest.raises(ValueError):
+        conv2d_reference(np.ones((3, 3)), np.ones((1, 1, 1, 1)))
+    with pytest.raises(ValueError):
+        conv2d_reference(ifmap, np.ones((1, 2, 1, 1)))  # channel mismatch
+    with pytest.raises(ValueError):
+        conv2d_reference(ifmap, np.ones((1, 1, 5, 5)))  # kernel too large
+    with pytest.raises(ValueError):
+        conv2d_reference(ifmap, np.ones((1, 1, 1, 1)), stride=0)
+    with pytest.raises(ValueError):
+        depthwise_reference(ifmap, np.ones((2, 3, 3)))

@@ -1,0 +1,66 @@
+"""Pulse-fault injection tests."""
+
+import pytest
+
+from repro.gatesim import build_adder, build_multiplier
+from repro.gatesim.faults import PulseFault, compute_with_faults, sensitive_gates
+
+
+@pytest.fixture(scope="module")
+def multiplier():
+    return build_multiplier(4)
+
+
+def test_no_faults_reproduces_golden(multiplier):
+    golden = multiplier.compute(a=7, b=9)
+    assert compute_with_faults(multiplier, {"a": 7, "b": 9}, []) == golden
+
+
+def test_dropped_partial_product_corrupts_result(multiplier):
+    golden = multiplier.compute(a=7, b=9)
+    faulted = compute_with_faults(
+        multiplier, {"a": 7, "b": 9}, [PulseFault("and0", cycle=0)]
+    )
+    assert faulted != golden
+
+
+def test_fault_on_idle_gate_is_harmless(multiplier):
+    """Dropping a pulse that was never going to fire changes nothing."""
+    golden = multiplier.compute(a=0, b=0)
+    faulted = compute_with_faults(
+        multiplier, {"a": 0, "b": 0}, [PulseFault("and0", cycle=0, kind="drop")]
+    )
+    assert faulted == golden == 0
+
+
+def test_inserted_pulse_creates_wrong_one(multiplier):
+    faulted = compute_with_faults(
+        multiplier, {"a": 0, "b": 0}, [PulseFault("and0", cycle=0, kind="insert")]
+    )
+    assert faulted != 0
+
+
+def test_network_recovers_after_faulted_run(multiplier):
+    golden = multiplier.compute(a=11, b=13)
+    compute_with_faults(multiplier, {"a": 11, "b": 13}, [PulseFault("and1", 1)])
+    assert multiplier.compute(a=11, b=13) == golden
+
+
+def test_sensitive_surface_is_small_subset(multiplier):
+    surface = sensitive_gates(multiplier, {"a": 7, "b": 9}, cycle=1)
+    assert 0 < len(surface) < multiplier.num_gates / 4
+
+
+def test_all_zero_operands_have_tiny_surface():
+    adder = build_adder(3)
+    surface = sensitive_gates(adder, {"a": 0, "b": 0}, cycle=0)
+    assert surface == set()  # no meaningful pulses to lose
+
+
+def test_fault_validation(multiplier):
+    with pytest.raises(ValueError):
+        PulseFault("and0", cycle=-1)
+    with pytest.raises(ValueError):
+        PulseFault("and0", cycle=0, kind="invert")
+    with pytest.raises(KeyError):
+        compute_with_faults(multiplier, {"a": 1, "b": 1}, [PulseFault("nope", 0)])

@@ -1,0 +1,101 @@
+"""Pulse-logic gate semantics tests (Fig. 1 behaviour, per gate type)."""
+
+import pytest
+
+from repro.gatesim.gates import (
+    AndGate,
+    DFFGate,
+    NDROGate,
+    NotGate,
+    OrGate,
+    TFFGate,
+    XorGate,
+    make_gate,
+)
+
+
+@pytest.mark.parametrize(
+    "gate_cls,a,b,expected",
+    [
+        (AndGate, 0, 0, 0), (AndGate, 1, 0, 0), (AndGate, 0, 1, 0), (AndGate, 1, 1, 1),
+        (OrGate, 0, 0, 0), (OrGate, 1, 0, 1), (OrGate, 0, 1, 1), (OrGate, 1, 1, 1),
+        (XorGate, 0, 0, 0), (XorGate, 1, 0, 1), (XorGate, 0, 1, 1), (XorGate, 1, 1, 0),
+    ],
+)
+def test_binary_truth_tables(gate_cls, a, b, expected):
+    gate = gate_cls()
+    if a:
+        gate.receive("a")
+    if b:
+        gate.receive("b")
+    assert gate.clock() is bool(expected)
+
+
+def test_clock_clears_state():
+    """Fig. 1(d): the stored quantum is consumed by the clock pulse."""
+    gate = AndGate()
+    gate.receive("a")
+    gate.receive("b")
+    assert gate.clock() is True
+    assert gate.clock() is False  # nothing stored anymore
+
+
+def test_not_gate_emits_on_absence():
+    gate = NotGate()
+    assert gate.clock() is True  # logical 0 in -> 1 out
+    gate.receive("a")
+    assert gate.clock() is False
+
+
+def test_dff_is_one_cycle_delay():
+    gate = DFFGate()
+    gate.receive("a")
+    assert gate.clock() is True
+    assert gate.clock() is False
+
+
+def test_ndro_persists_until_reset():
+    gate = NDROGate()
+    gate.receive("set")
+    assert gate.clock() is True
+    # Non-destructive: repeated clocks keep reading '1'.
+    assert gate.clock() is True
+    gate.receive("reset")
+    assert gate.clock() is False
+    assert gate.clock() is False
+
+
+def test_ndro_reset_dominates_simultaneous_set():
+    gate = NDROGate()
+    gate.receive("set")
+    gate.receive("reset")
+    assert gate.clock() is False
+
+
+def test_tff_divides_by_two():
+    gate = TFFGate()
+    outputs = []
+    for _ in range(8):
+        gate.receive("a")
+        outputs.append(gate.clock())
+    assert outputs == [False, True] * 4
+
+
+def test_tff_holds_between_pulses():
+    gate = TFFGate()
+    gate.receive("a")
+    assert gate.clock() is False
+    assert gate.clock() is False  # no input: no output
+    gate.receive("a")
+    assert gate.clock() is True
+
+
+def test_unknown_port_rejected():
+    with pytest.raises(ValueError, match="no port"):
+        AndGate().receive("q")
+
+
+def test_factory():
+    assert make_gate("XOR").name == "XOR"
+    with pytest.raises(ValueError):
+        make_gate("NAND")

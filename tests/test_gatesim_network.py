@@ -1,0 +1,94 @@
+"""Gate-network engine tests."""
+
+import pytest
+
+from repro.gatesim.network import GateNetwork
+
+
+def _xor_network():
+    net = GateNetwork()
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("x", "XOR")
+    net.connect_input("a", "x", "a")
+    net.connect_input("b", "x", "b")
+    net.add_output("out", "x")
+    return net
+
+
+def test_single_gate_cycle():
+    net = _xor_network()
+    assert net.step({"a": True, "b": False}) == {"out": True}
+    assert net.step({"a": True, "b": True}) == {"out": False}
+    assert net.step({}) == {"out": False}
+
+
+def test_pipeline_stage_latency():
+    """A two-gate chain shows the one-cycle-per-stage pipeline timing."""
+    net = GateNetwork()
+    net.add_input("a")
+    net.add_gate("d1", "DFF")
+    net.add_gate("d2", "DFF")
+    net.connect_input("a", "d1", "a")
+    net.connect("d1", "d2", "a")
+    net.add_output("out", "d2")
+    assert net.step({"a": True}) == {"out": False}
+    assert net.step({}) == {"out": True}
+    assert net.step({}) == {"out": False}
+
+
+def test_fanout_to_multiple_ports():
+    net = GateNetwork()
+    net.add_input("a")
+    net.add_gate("g", "AND")
+    net.connect_input("a", "g", "a")
+    net.connect_input("a", "g", "b")  # splitter: one pulse feeds both ports
+    net.add_output("out", "g")
+    assert net.step({"a": True}) == {"out": True}
+
+
+def test_feedback_wire():
+    """A gate may feed itself: pulses arrive for the *next* clock."""
+    net = GateNetwork()
+    net.add_input("seed")
+    net.add_gate("osc", "OR")
+    net.connect_input("seed", "osc", "a")
+    net.connect("osc", "osc", "b")  # regenerative loop
+    net.add_output("out", "osc")
+    assert net.step({"seed": True}) == {"out": True}
+    # The loop now sustains itself without further input.
+    assert net.step({}) == {"out": True}
+    assert net.step({}) == {"out": True}
+
+
+def test_run_with_flush():
+    net = _xor_network()
+    trace = net.run([{"a": True}], extra_cycles=2)
+    assert [t["out"] for t in trace] == [True, False, False]
+    with pytest.raises(ValueError):
+        net.run([], extra_cycles=-1)
+
+
+def test_construction_validation():
+    net = GateNetwork()
+    net.add_gate("g", "AND")
+    with pytest.raises(ValueError):
+        net.add_gate("g", "AND")
+    net.add_input("a")
+    with pytest.raises(ValueError):
+        net.add_input("a")
+    with pytest.raises(KeyError):
+        net.connect("missing", "g", "a")
+    with pytest.raises(KeyError):
+        net.connect_input("nope", "g", "a")
+    with pytest.raises(KeyError):
+        net.step({"nope": True})
+    net.add_output("o", "g")
+    with pytest.raises(ValueError):
+        net.add_output("o", "g")
+
+
+def test_gate_kind_counts():
+    net = _xor_network()
+    net.add_gate("d", "DFF")
+    assert net.gate_kind_counts() == {"XOR": 1, "DFF": 1}

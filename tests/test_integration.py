@@ -1,0 +1,99 @@
+"""Cross-module integration tests: the full paper pipeline end to end."""
+
+import math
+
+import pytest
+
+from repro.baselines.scalesim import TPU_CORE, simulate_cmos
+from repro.cooling.cryocooler import PAPER_COOLER
+from repro.core.batching import paper_batch
+from repro.core.designs import baseline, supernpu
+from repro.core.metrics import efficiency_row, roofline_point
+from repro.device.cells import ersfq_library, rsfq_library
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+from repro.workloads.models import all_workloads, mobilenet, resnet50
+
+
+def test_headline_speedup_pipeline():
+    """The paper's headline: SuperNPU ~23x the TPU on average."""
+    library = rsfq_library()
+    config = supernpu()
+    estimate = estimate_npu(config, library)
+    ratios = []
+    for network in all_workloads():
+        sfq = simulate(config, network,
+                       batch=paper_batch("SuperNPU", network.name), estimate=estimate)
+        tpu = simulate_cmos(TPU_CORE, network, batch=paper_batch("TPU", network.name))
+        ratios.append(sfq.mac_per_s / tpu.mac_per_s)
+    average = sum(ratios) / len(ratios)
+    assert 10 <= average <= 50  # paper: 23x
+    assert all(r > 1 for r in ratios)  # SuperNPU wins everywhere
+
+
+def test_baseline_loses_to_tpu():
+    """Fig. 23: the naive SFQ design underperforms the TPU (paper: 0.4x)."""
+    library = rsfq_library()
+    config = baseline()
+    estimate = estimate_npu(config, library)
+    ratios = []
+    for network in all_workloads():
+        sfq = simulate(config, network, batch=1, estimate=estimate)
+        tpu = simulate_cmos(TPU_CORE, network, batch=paper_batch("TPU", network.name))
+        ratios.append(sfq.mac_per_s / tpu.mac_per_s)
+    assert sum(ratios) / len(ratios) < 1.0
+
+
+def test_table3_pipeline_end_to_end():
+    """ERSFQ free-cooling perf/W lands in the hundreds-x band (paper 490x)."""
+    config = supernpu()
+    network = resnet50()
+    tpu = simulate_cmos(TPU_CORE, network, batch=20)
+    tpu_row = efficiency_row("TPU", 40.0, tpu.mac_per_s, cooler=None)
+
+    library = ersfq_library()
+    estimate = estimate_npu(config, library)
+    run = simulate(config, network, batch=30, estimate=estimate)
+    power = power_report(run, estimate)
+    free = efficiency_row("ERSFQ", power.total_w, run.mac_per_s,
+                          cooler=PAPER_COOLER, free_cooling=True)
+    cooled = efficiency_row("ERSFQ+cool", power.total_w, run.mac_per_s,
+                            cooler=PAPER_COOLER)
+    assert free.normalized_to(tpu_row) > 100
+    assert cooled.normalized_to(tpu_row) > 0.5
+
+
+def test_roofline_consistency_with_simulator():
+    """Measured throughput never exceeds the analytic roofline peak."""
+    library = rsfq_library()
+    config = supernpu()
+    estimate = estimate_npu(config, library)
+    network = mobilenet()
+    run = simulate(config, network, batch=30, estimate=estimate)
+    point = roofline_point(network, 30, estimate.peak_mac_per_s,
+                           config.memory_bandwidth_gbps, measured=run)
+    assert point.measured_mac_per_s <= point.peak_mac_per_s
+
+
+def test_frequency_consistent_across_apis():
+    library = rsfq_library()
+    config = supernpu()
+    estimate = estimate_npu(config, library)
+    run = simulate(config, resnet50(), batch=1, estimate=estimate)
+    assert math.isclose(run.frequency_ghz, estimate.frequency_ghz)
+
+
+def test_ersfq_and_rsfq_same_performance_different_power():
+    """Technology changes power, not cycles (same timing per IV-A1)."""
+    config = supernpu()
+    network = resnet50()
+    runs = {}
+    powers = {}
+    for name, library in (("rsfq", rsfq_library()), ("ersfq", ersfq_library())):
+        estimate = estimate_npu(config, library)
+        run = simulate(config, network, batch=30, estimate=estimate)
+        runs[name] = run.total_cycles
+        powers[name] = power_report(run, estimate).total_w
+    assert runs["rsfq"] == runs["ersfq"]
+    assert powers["ersfq"] < 0.01 * powers["rsfq"]

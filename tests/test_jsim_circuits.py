@@ -1,0 +1,121 @@
+"""Physics tests: SFQ pulse propagation and single-ring storage (Fig. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.jsim.circuits import build_jtl, build_storage_loop, drive_jtl, jtl_stage_delay_ps
+from repro.jsim.elements import CurrentSource
+from repro.jsim.measure import (
+    peak_voltage_mv,
+    propagation_delay_ps,
+    stored_flux_quanta,
+    switch_count,
+    switching_times_ps,
+)
+from repro.jsim.solver import TransientSolver
+from repro.jsim.stimuli import gaussian_pulse, pulse_train
+
+
+@pytest.fixture(scope="module")
+def jtl_run():
+    jtl = build_jtl(8)
+    drive_jtl(jtl, 40.0)
+    result = TransientSolver(jtl.circuit).run(80.0)
+    return jtl, result
+
+
+def test_single_fluxon_propagates_all_stages(jtl_run):
+    jtl, result = jtl_run
+    assert all(switch_count(result, node) == 1 for node in jtl.nodes)
+
+
+def test_pulse_arrival_ordering(jtl_run):
+    jtl, result = jtl_run
+    arrivals = [switching_times_ps(result, node)[0] for node in jtl.nodes]
+    assert arrivals == sorted(arrivals)
+
+
+def test_per_stage_delay_near_library_value(jtl_run):
+    """Cross-check of the cell library's 1.6 ps JTL hop (same ps order)."""
+    delay = jtl_stage_delay_ps()
+    assert 0.5 < delay < 5.0
+
+
+def test_propagation_delay_positive(jtl_run):
+    jtl, result = jtl_run
+    assert propagation_delay_ps(result, jtl.nodes[0], jtl.nodes[-1]) > 0
+
+
+def test_sfq_pulse_voltage_magnitude(jtl_run):
+    """Fig. 1: SFQ pulses are ~100 uV, ~ps-wide events."""
+    jtl, result = jtl_run
+    peak = peak_voltage_mv(result, jtl.nodes[3])
+    assert 0.03 < peak < 1.0  # tens to hundreds of microvolts
+
+
+def test_pulse_area_is_one_flux_quantum(jtl_run):
+    """The defining SFQ property: integral of V dt = Phi0.
+
+    Integrate after the bias ramp settles (t > 30 ps) so only the pulse's
+    2*pi phase slip contributes.
+    """
+    from repro.device.constants import PHI0_MV_PS
+
+    jtl, result = jtl_run
+    node = jtl.nodes[4]
+    mask = result.time_ps > 30.0
+    voltage = result.node_voltage_mv(node)[mask]
+    area = float(np.trapezoid(voltage, result.time_ps[mask]))
+    assert math.isclose(area, PHI0_MV_PS, rel_tol=0.1)
+
+
+def test_no_spontaneous_switching():
+    """A biased but undriven JTL must stay quiet (bias < Ic)."""
+    jtl = build_jtl(6)
+    result = TransientSolver(jtl.circuit).run(60.0)
+    assert all(switch_count(result, node) == 0 for node in jtl.nodes)
+
+
+def test_storage_loop_dff_sequence():
+    """Fig. 1(c)/(d): store on data pulse, release on clock pulse."""
+    loop = build_storage_loop()
+    loop.circuit.add_source(CurrentSource(loop.input_node, gaussian_pulse(40.0), "d"))
+    loop.circuit.add_source(CurrentSource(loop.output_node, gaussian_pulse(60.0), "clk"))
+    result = TransientSolver(loop.circuit).run(90.0)
+    out_times = switching_times_ps(result, loop.output_node)
+    assert len(out_times) == 1
+    assert out_times[0] >= 59.0  # only after the clock, not the data pulse
+    in_times = switching_times_ps(result, loop.input_node)
+    assert len(in_times) == 1 and 39.0 <= in_times[0] <= 42.0
+
+
+def test_storage_loop_stored_quantum():
+    """After the data pulse (before the clock), exactly one flux quantum
+    sits in the ring — the stored '1' of Fig. 1(d)."""
+    loop = build_storage_loop()
+    loop.circuit.add_source(CurrentSource(loop.input_node, gaussian_pulse(40.0), "d"))
+    result = TransientSolver(loop.circuit).run(55.0)
+    assert switch_count(result, loop.input_node) == 1
+    assert switch_count(result, loop.output_node) == 0
+    # Loop flux = (theta_left - theta_right) / 2*pi = one quantum.
+    assert stored_flux_quanta(result, loop.input_node) - stored_flux_quanta(
+        result, loop.output_node
+    ) == 1
+
+
+def test_pulse_train_drives_repeated_switching():
+    jtl = build_jtl(4)
+    jtl.circuit.add_source(
+        CurrentSource(jtl.input_node, pulse_train(40.0, period_ps=15.0, count=3), "train")
+    )
+    result = TransientSolver(jtl.circuit).run(110.0)
+    assert switch_count(result, jtl.nodes[-1]) == 3
+
+
+def test_invalid_jtl():
+    with pytest.raises(ValueError):
+        build_jtl(1)
+    with pytest.raises(ValueError):
+        build_jtl(4, bias_fraction=1.5)

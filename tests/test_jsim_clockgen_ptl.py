@@ -1,0 +1,125 @@
+"""Clock-generator and passive-transmission-line circuit tests."""
+
+import math
+
+import pytest
+
+from repro.jsim.circuits import (
+    build_clock_generator,
+    build_ptl,
+    clock_bias_for_frequency,
+    clock_generator_frequency_ghz,
+    ptl_delay_ps_per_mm,
+    tune_clock_generator,
+)
+
+
+def test_unloaded_bias_formula():
+    """RSJ relation: I = sqrt(Ic^2 + (f*Phi0/R)^2)."""
+    bias = clock_bias_for_frequency(52.6, ic_ua=100.0, shunt_ohm=4.0)
+    from repro.device.constants import PHI0_MV_PS
+
+    excess = 1000.0 * 52.6e-3 * PHI0_MV_PS / 4.0
+    assert math.isclose(bias, math.hypot(100.0, excess), rel_tol=1e-9)
+    assert 100.0 < bias < 110.0
+
+
+def test_bias_monotone_in_frequency():
+    assert clock_bias_for_frequency(100.0) > clock_bias_for_frequency(30.0)
+    with pytest.raises(ValueError):
+        clock_bias_for_frequency(0)
+
+
+def test_generator_silent_below_threshold():
+    """With JTL loading, the analytic (unloaded) bias is not enough."""
+    unloaded = clock_bias_for_frequency(52.6)
+    assert clock_generator_frequency_ghz(unloaded) == 0.0
+
+
+def test_tuned_generator_hits_npu_clock():
+    """Bring-up: tune the source bias until the output clock is 52.6 GHz.
+
+    This is the jsim-level existence proof for the on-chip clock source the
+    paper's prototype die carries (Fig. 12(a))."""
+    bias, measured = tune_clock_generator(52.6, tolerance_ghz=3.0)
+    assert abs(measured - 52.6) <= 3.0
+    assert bias > clock_bias_for_frequency(52.6)  # loading costs bias
+
+
+def test_generator_structure():
+    generator = build_clock_generator(bias_ua=150.0, buffer_stages=2)
+    assert len(generator.circuit.junctions) == 3  # source + 2 buffers
+    assert generator.bias_ua == 150.0
+    with pytest.raises(ValueError):
+        build_clock_generator(buffer_stages=0)
+
+
+def test_ptl_delivers_single_pulse():
+    from repro.jsim.elements import CurrentSource
+    from repro.jsim.measure import switch_count
+    from repro.jsim.solver import TransientSolver
+    from repro.jsim.stimuli import gaussian_pulse
+
+    ptl = build_ptl(segments=10)
+    ptl.circuit.add_source(CurrentSource(ptl.driver_node, gaussian_pulse(40.0), "in"))
+    result = TransientSolver(ptl.circuit).run(100.0)
+    assert switch_count(result, ptl.driver_node) == 1
+    assert switch_count(result, ptl.receiver_node) == 1
+
+
+def test_ptl_delay_matches_architecture_constant():
+    """The measured flight time cross-checks PTL_DELAY_PS_PER_MM (10.01)."""
+    measured = ptl_delay_ps_per_mm()
+    assert 7.0 <= measured <= 13.0
+
+
+def test_ptl_delay_scales_with_length():
+    short = ptl_delay_ps_per_mm(segments=10)
+    long = ptl_delay_ps_per_mm(segments=20)
+    # Per-mm delay is a property of the line, not its length.
+    assert math.isclose(short, long, rel_tol=0.15)
+
+
+def test_ptl_validation():
+    with pytest.raises(ValueError):
+        build_ptl(segments=1)
+    with pytest.raises(ValueError):
+        build_ptl(segment_length_mm=0)
+
+
+class TestCoincidenceAnd:
+    """Analog pulse-coincidence AND (the seed of the clocked gate model)."""
+
+    @staticmethod
+    def _run(pulse_a, pulse_b):
+        from repro.jsim.circuits import build_coincidence_and
+        from repro.jsim.elements import CurrentSource
+        from repro.jsim.measure import switch_count
+        from repro.jsim.solver import TransientSolver
+        from repro.jsim.stimuli import gaussian_pulse
+
+        gate = build_coincidence_and()
+        if pulse_a is not None:
+            gate.circuit.add_source(
+                CurrentSource(gate.input_a, gaussian_pulse(pulse_a), "a")
+            )
+        if pulse_b is not None:
+            gate.circuit.add_source(
+                CurrentSource(gate.input_b, gaussian_pulse(pulse_b), "b")
+            )
+        result = TransientSolver(gate.circuit).run(90.0)
+        return switch_count(result, gate.output_node)
+
+    def test_truth_table(self):
+        assert self._run(40.0, 40.0) == 1  # 1 AND 1 -> 1
+        assert self._run(40.0, None) == 0  # 1 AND 0 -> 0
+        assert self._run(None, 40.0) == 0  # 0 AND 1 -> 0
+        assert self._run(None, None) == 0  # 0 AND 0 -> 0
+
+    def test_inputs_are_latched_until_the_partner_arrives(self):
+        """The first quantum waits — Fig. 1(d)'s stored-'1' semantics."""
+        assert self._run(40.0, 48.0) == 1
+        assert self._run(48.0, 40.0) == 1
+
+    def test_single_fire_only(self):
+        assert self._run(40.0, 41.0) == 1  # one output pulse, not two

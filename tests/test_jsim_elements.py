@@ -1,0 +1,70 @@
+"""Circuit-element tests for the RCSJ simulator."""
+
+import math
+
+import pytest
+
+from repro.jsim.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    JosephsonJunction,
+    Resistor,
+)
+
+
+def test_junction_defaults_are_reasonably_damped():
+    jj = JosephsonJunction(1, 0)
+    # Near-critical damping for clean SFQ pulses.
+    assert 0.3 < jj.stewart_mccumber < 5.0
+
+
+def test_supercurrent_follows_sine():
+    jj = JosephsonJunction(1, 0, critical_current_ua=100.0)
+    assert math.isclose(jj.supercurrent_ua(math.pi / 2), 100.0)
+    assert math.isclose(jj.supercurrent_ua(0.0), 0.0)
+    assert math.isclose(jj.supercurrent_ua(-math.pi / 2), -100.0)
+
+
+def test_normal_current_ohms_law():
+    jj = JosephsonJunction(1, 0, shunt_resistance_ohm=4.0)
+    # V = PhiBar * dtheta; I = 1000 * V / R.
+    from repro.device.constants import PHI0_BAR_MV_PS
+
+    rate = 2.0  # rad/ps
+    expected = 1000.0 * PHI0_BAR_MV_PS * rate / 4.0
+    assert math.isclose(jj.normal_current_ua(rate), expected)
+
+
+def test_inductor_flux_quantization_current():
+    """A 2*pi phase drop across 10 pH carries ~207 uA (one flux quantum)."""
+    inductor = Inductor(1, 0, inductance_ph=10.0)
+    assert math.isclose(inductor.current_ua(2 * math.pi), 206.8, rel_tol=0.01)
+
+
+def test_resistor_current():
+    from repro.device.constants import PHI0_BAR_MV_PS
+
+    resistor = Resistor(1, 0, resistance_ohm=2.0)
+    assert math.isclose(resistor.current_ua(3.0), 1000 * PHI0_BAR_MV_PS * 3.0 / 2.0)
+
+
+def test_current_source_waveform():
+    source = CurrentSource(1, lambda t: 5.0 * t)
+    assert source.current_ua(2.0) == 10.0
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: JosephsonJunction(1, 0, critical_current_ua=0),
+        lambda: JosephsonJunction(1, 0, shunt_resistance_ohm=0),
+        lambda: JosephsonJunction(1, 0, capacitance_pf=0),
+        lambda: Inductor(1, 0, inductance_ph=0),
+        lambda: Resistor(1, 0, resistance_ohm=-1),
+        lambda: Capacitor(1, 0, capacitance_pf=0),
+    ],
+)
+def test_invalid_elements_rejected(factory):
+    with pytest.raises(ValueError):
+        factory()

@@ -1,0 +1,59 @@
+"""Gate-parameter extraction and margin-analysis tests."""
+
+import pytest
+
+from repro.jsim.extract import (
+    MarginReport,
+    bias_margins,
+    extract_jtl_delay_ps,
+    extract_setup_time_ps,
+)
+
+
+def test_extracted_jtl_delay_in_library_band():
+    """The transient-measured hop delay must sit in the same picosecond
+    band as the cell library's DEFAULT_WIRE_DELAY_PS (1.6 ps)."""
+    delay = extract_jtl_delay_ps(stages=6)
+    assert 0.8 <= delay <= 4.0
+
+
+def test_extracted_setup_time_positive_and_bounded():
+    setup = extract_setup_time_ps(resolution_ps=1.0)
+    assert 0.5 <= setup <= 12.0
+
+
+def test_setup_extraction_validates_resolution():
+    with pytest.raises(ValueError):
+        extract_setup_time_ps(resolution_ps=0)
+
+
+def test_margin_report_arithmetic():
+    report = MarginReport(nominal_fraction=0.7, low_fraction=0.5, high_fraction=0.9)
+    assert report.width == pytest.approx(0.4)
+    low, high = report.plus_minus_percent
+    assert low == pytest.approx(-28.57, abs=0.1)
+    assert high == pytest.approx(28.57, abs=0.1)
+
+
+def test_jtl_bias_margins_are_wide():
+    """A healthy JTL operates over a wide bias window around nominal."""
+    report = bias_margins(resolution=0.05)
+    assert report.low_fraction < 0.6
+    assert report.high_fraction > 0.8
+    assert report.width > 0.25
+
+
+def test_margins_custom_criterion():
+    report = bias_margins(operates=lambda b: 0.4 <= b <= 0.8, resolution=0.02)
+    assert report.low_fraction == pytest.approx(0.4, abs=0.05)
+    assert report.high_fraction == pytest.approx(0.8, abs=0.05)
+
+
+def test_margins_fail_at_nominal_raises():
+    with pytest.raises(RuntimeError, match="nominal"):
+        bias_margins(operates=lambda b: False)
+
+
+def test_margins_validate_resolution():
+    with pytest.raises(ValueError):
+        bias_margins(operates=lambda b: True, resolution=0)

@@ -1,0 +1,61 @@
+"""Netlist and mass-matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.jsim.elements import Capacitor, JosephsonJunction
+from repro.jsim.netlist import Circuit
+
+
+def test_node_allocation_and_labels():
+    circuit = Circuit()
+    a = circuit.node("a")
+    b = circuit.node()
+    assert (a, b) == (1, 2)
+    assert circuit.labeled("a") == 1
+    assert circuit.num_nodes == 3  # including ground
+
+
+def test_duplicate_label_rejected():
+    circuit = Circuit()
+    circuit.node("x")
+    with pytest.raises(ValueError):
+        circuit.node("x")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(KeyError):
+        Circuit().labeled("nope")
+
+
+def test_unallocated_node_rejected():
+    circuit = Circuit()
+    with pytest.raises(ValueError):
+        circuit.add_junction(JosephsonJunction(5, 0))
+
+
+def test_mass_matrix_symmetric_positive_definite():
+    circuit = Circuit()
+    a, b = circuit.node(), circuit.node()
+    circuit.add_junction(JosephsonJunction(a, 0))
+    circuit.add_junction(JosephsonJunction(b, 0))
+    circuit.add_capacitor(Capacitor(a, b, 0.1))
+    mass = circuit.mass_matrix()
+    assert np.allclose(mass, mass.T)
+    assert np.all(np.linalg.eigvalsh(mass) > 0)
+
+
+def test_mass_matrix_parasitic_keeps_invertible():
+    circuit = Circuit()
+    circuit.node()  # floating node with no capacitance
+    mass = circuit.mass_matrix()
+    assert mass.shape == (1, 1)
+    assert mass[0, 0] > 0
+
+
+def test_bias_source_constant():
+    circuit = Circuit()
+    node = circuit.node()
+    source = circuit.add_bias(node, 70.0)
+    assert source.current_ua(0.0) == 70.0
+    assert source.current_ua(1e6) == 70.0

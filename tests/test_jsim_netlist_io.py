@@ -1,0 +1,79 @@
+"""Netlist deck parsing / serialization tests."""
+
+import pytest
+
+from repro.jsim.measure import switch_count
+from repro.jsim.netlist_io import NetlistError, parse_netlist, serialize_netlist
+from repro.jsim.solver import TransientSolver
+
+DECK = """
+* two-stage test circuit
+B1 in  0 ic=100 rshunt=4 cap=0.2
+B2 out 0 ic=100
+L1 in out 6.0      ; coupling inductor
+IB1 in 0 dc 70
+IB2 out 0 dc 70
+IP1 in 0 pulse 40 300 1
+.end
+"""
+
+
+def test_parse_deck_structure():
+    circuit, nodes = parse_netlist(DECK)
+    assert set(nodes) == {"in", "out"}
+    assert len(circuit.junctions) == 2
+    assert len(circuit.inductors) == 1
+    assert len(circuit.sources) == 3
+    assert circuit.junctions[0].critical_current_ua == 100
+    assert circuit.junctions[0].shunt_resistance_ohm == 4
+    assert circuit.inductors[0].inductance_ph == 6.0
+
+
+def test_parsed_circuit_simulates():
+    """The deck above is a 2-stage JTL; the pulse must reach both JJs."""
+    circuit, nodes = parse_netlist(DECK)
+    result = TransientSolver(circuit).run(80.0)
+    assert switch_count(result, nodes["in"]) == 1
+    assert switch_count(result, nodes["out"]) == 1
+
+
+def test_ground_aliases():
+    circuit, _ = parse_netlist("B1 a gnd ic=100\nB2 b GND ic=100\n")
+    assert all(j.node_minus == 0 for j in circuit.junctions)
+
+
+def test_comments_and_end_are_ignored():
+    circuit, _ = parse_netlist("* comment\nB1 a 0 ic=50\n.end\nB2 b 0 ic=50\n")
+    assert len(circuit.junctions) == 1  # everything after .end dropped
+
+
+def test_rlc_elements():
+    circuit, _ = parse_netlist("R1 a 0 4.0\nC1 a 0 0.1\nL1 a b 10\n")
+    assert circuit.resistors[0].resistance_ohm == 4.0
+    assert circuit.capacitors[0].capacitance_pf == 0.1
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "X1 a 0 1.0",  # unknown element
+        "B1 a 0 ic",  # malformed key=value
+        "L1 a 0",  # missing value
+        "I1 a 0 sine 1 2 3",  # unknown source mode
+    ],
+)
+def test_malformed_decks_rejected(bad):
+    with pytest.raises(NetlistError):
+        parse_netlist(bad)
+
+
+def test_serialize_round_trip():
+    circuit, _ = parse_netlist(DECK)
+    text = serialize_netlist(circuit, title="round trip")
+    reparsed, _ = parse_netlist(text)
+    assert len(reparsed.junctions) == len(circuit.junctions)
+    assert len(reparsed.inductors) == len(circuit.inductors)
+    # Bias sources survive as DC stubs (the pulse is sampled at t=0 ~ 0).
+    assert len(reparsed.sources) == len(circuit.sources)
+    assert "* round trip" in text
+    assert text.strip().endswith(".end")

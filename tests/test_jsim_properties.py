@@ -1,0 +1,89 @@
+"""Property-based physics checks on the RCSJ simulator.
+
+Each example runs a transient simulation (~0.1-0.5 s), so example counts
+are kept small; the properties are the physical invariants that must hold
+for *any* parameters, not statistical coverage.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.constants import PHI0_MV_PS
+from repro.jsim.circuits import build_jtl, drive_jtl
+from repro.jsim.elements import CurrentSource, JosephsonJunction
+from repro.jsim.measure import switch_count, switching_times_ps
+from repro.jsim.netlist import Circuit
+from repro.jsim.solver import TransientSolver
+from repro.jsim.stimuli import ramped_bias
+
+
+@given(stages=st.integers(3, 10))
+@settings(max_examples=5, deadline=None)
+def test_fluxon_number_is_conserved_along_a_jtl(stages):
+    """One pulse in -> exactly one 2*pi slip at every junction."""
+    jtl = build_jtl(stages)
+    drive_jtl(jtl, pulse_time_ps=40.0)
+    result = TransientSolver(jtl.circuit).run(50.0 + 4.0 * stages)
+    assert all(switch_count(result, node) == 1 for node in jtl.nodes)
+
+
+@given(stages=st.integers(3, 8))
+@settings(max_examples=5, deadline=None)
+def test_jtl_is_causal(stages):
+    """Arrival times increase monotonically along the line."""
+    jtl = build_jtl(stages)
+    drive_jtl(jtl, pulse_time_ps=40.0)
+    result = TransientSolver(jtl.circuit).run(50.0 + 4.0 * stages)
+    arrivals = [switching_times_ps(result, node)[0] for node in jtl.nodes]
+    assert arrivals == sorted(arrivals)
+
+
+@given(bias_fraction=st.floats(0.2, 0.85))
+@settings(max_examples=6, deadline=None)
+def test_subcritical_junction_never_switches(bias_fraction):
+    """Any DC bias below Ic leaves the junction superconducting."""
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0, critical_current_ua=100.0))
+    circuit.add_source(CurrentSource(node, ramped_bias(bias_fraction * 100.0)))
+    result = TransientSolver(circuit).run(80.0)
+    assert switch_count(result, node) == 0
+    # Rest phase obeys arcsin(I/Ic).
+    final = result.node_phase(node)[-1]
+    assert math.isclose(final, math.asin(bias_fraction), abs_tol=0.1)
+
+
+@given(overdrive=st.floats(1.3, 2.5))
+@settings(max_examples=5, deadline=None)
+def test_josephson_relation_holds_for_any_overdrive(overdrive):
+    """f = <V>/Phi0 in the running state, whatever the bias."""
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0, critical_current_ua=100.0))
+    circuit.add_source(CurrentSource(node, ramped_bias(overdrive * 100.0)))
+    result = TransientSolver(circuit).run(150.0)
+    mask = result.time_ps > 80.0
+    mean_voltage = float(np.mean(result.node_voltage_mv(node)[mask]))
+    phase = result.node_phase(node)
+    slips = (phase[-1] - phase[mask][0]) / (2 * math.pi)
+    duration = result.time_ps[-1] - result.time_ps[mask][0]
+    assert slips / duration == pytest.approx(mean_voltage / PHI0_MV_PS, rel=0.1)
+
+
+@given(stages=st.integers(3, 7))
+@settings(max_examples=4, deadline=None)
+def test_pulse_area_quantization_along_the_line(stages):
+    """Every junction's time-integrated voltage is one flux quantum."""
+    jtl = build_jtl(stages)
+    drive_jtl(jtl, pulse_time_ps=40.0)
+    result = TransientSolver(jtl.circuit).run(50.0 + 4.0 * stages)
+    mask = result.time_ps > 30.0
+    for node in jtl.nodes:
+        area = float(
+            np.trapezoid(result.node_voltage_mv(node)[mask], result.time_ps[mask])
+        )
+        assert area == pytest.approx(PHI0_MV_PS, rel=0.12)

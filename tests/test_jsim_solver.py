@@ -1,0 +1,113 @@
+"""Transient-solver numerical tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.jsim.elements import Capacitor, CurrentSource, Inductor, JosephsonJunction
+from repro.jsim.netlist import Circuit
+from repro.jsim.solver import TransientSolver
+from repro.jsim.stimuli import ramped_bias
+
+
+def test_quiescent_circuit_stays_at_rest():
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0))
+    result = TransientSolver(circuit).run(20.0)
+    assert np.max(np.abs(result.node_phase(node))) < 1e-6
+
+
+def test_subcritical_bias_settles_below_pi_over_2():
+    """DC bias below Ic parks the junction phase at arcsin(I/Ic)."""
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0, critical_current_ua=100.0))
+    circuit.add_bias(node, 50.0)
+    result = TransientSolver(circuit).run(100.0)
+    final = result.node_phase(node)[-1]
+    assert math.isclose(final, math.asin(0.5), abs_tol=0.05)
+
+
+def test_supercritical_bias_produces_voltage_state():
+    """Driving past Ic puts the junction in the running (voltage) state."""
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0, critical_current_ua=100.0))
+    circuit.add_source(CurrentSource(node, ramped_bias(150.0)))
+    result = TransientSolver(circuit).run(100.0)
+    # Phase keeps advancing: many 2*pi slips.
+    assert result.node_phase(node)[-1] > 10 * 2 * math.pi
+
+
+def test_josephson_frequency_relation():
+    """In the running state, f = <V> / Phi0 (the AC Josephson relation)."""
+    from repro.device.constants import PHI0_MV_PS
+
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0, critical_current_ua=100.0))
+    circuit.add_source(CurrentSource(node, ramped_bias(200.0)))
+    result = TransientSolver(circuit).run(200.0)
+    mask = result.time_ps > 100.0  # steady state
+    mean_voltage = float(np.mean(result.node_voltage_mv(node)[mask]))
+    slips = (result.node_phase(node)[-1] - result.node_phase(node)[mask][0]) / (2 * math.pi)
+    duration = result.time_ps[-1] - result.time_ps[mask][0]
+    measured_rate = slips / duration  # slips per ps
+    assert math.isclose(measured_rate, mean_voltage / PHI0_MV_PS, rel_tol=0.05)
+
+
+def test_lc_resonance_frequency():
+    """A linear LC tank checks the integrator against textbook physics."""
+    circuit = Circuit()
+    node = circuit.node()
+    inductance_ph, capacitance_pf = 100.0, 1.0
+    circuit.add_inductor(Inductor(node, 0, inductance_ph))
+    circuit.add_capacitor(Capacitor(node, 0, capacitance_pf))
+    # Kick with a short pulse, then watch it ring for many periods.
+    circuit.add_source(CurrentSource(node, lambda t: 100.0 if t < 1.0 else 0.0))
+    result = TransientSolver(circuit, step_ps=0.05).run(1000.0)
+    phase = result.node_phase(node)
+    # Count zero crossings of the centered waveform after the kick.
+    settled = phase[result.time_ps > 5.0] - np.mean(phase[result.time_ps > 5.0])
+    crossings = np.sum(np.diff(np.sign(settled)) != 0)
+    duration = result.time_ps[-1] - 5.0
+    measured_ghz = crossings / 2.0 / duration * 1e3
+    expected_ghz = 1e3 / (2 * math.pi * math.sqrt(inductance_ph * capacitance_pf))
+    assert math.isclose(measured_ghz, expected_ghz, rel_tol=0.05)
+
+
+def test_sampling_decimation():
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0))
+    full = TransientSolver(circuit).run(10.0, sample_every=1)
+    thin = TransientSolver(circuit).run(10.0, sample_every=10)
+    assert len(thin.time_ps) < len(full.time_ps)
+    assert math.isclose(thin.time_ps[-1], full.time_ps[-1], abs_tol=0.5)
+
+
+def test_initial_phase_override():
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0))
+    initial = np.zeros(circuit.num_nodes)
+    initial[node] = 0.3
+    result = TransientSolver(circuit).run(5.0, initial_phases=initial)
+    assert math.isclose(result.node_phase(node)[0], 0.3)
+
+
+def test_solver_validation():
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0))
+    with pytest.raises(ValueError):
+        TransientSolver(circuit, step_ps=0)
+    solver = TransientSolver(circuit)
+    with pytest.raises(ValueError):
+        solver.run(0)
+    with pytest.raises(ValueError):
+        solver.run(1.0, sample_every=0)
+    with pytest.raises(ValueError):
+        solver.run(1.0, initial_phases=np.zeros(99))

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) over the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional.reference import conv2d_reference
+from repro.functional.systolic import conv2d_systolic
+from repro.simulator.mapping import map_layer
+from repro.simulator.memory import MemoryModel
+from repro.timing.clocking import concurrent_flow_cct, counter_flow_cct
+from repro.uarch.buffers import ShiftRegisterBuffer
+from repro.uarch.config import NPUConfig
+from repro.uarch.unit import GateCounts
+from repro.workloads.layers import ConvLayer
+
+
+@st.composite
+def conv_cases(draw):
+    channels = draw(st.integers(1, 4))
+    size = draw(st.integers(3, 7))
+    kernel = draw(st.integers(1, min(3, size)))
+    filters = draw(st.integers(1, 5))
+    stride = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, kernel // 2))
+    rows = draw(st.integers(1, channels * kernel * kernel + 3))
+    cols = draw(st.integers(1, filters + 2))
+    seed = draw(st.integers(0, 2**16))
+    return channels, size, kernel, filters, stride, padding, rows, cols, seed
+
+
+@given(conv_cases())
+@settings(max_examples=25, deadline=None)
+def test_systolic_array_always_matches_reference(case):
+    """The central functional invariant: any tiling, any shape, bit-equal."""
+    channels, size, kernel, filters, stride, padding, rows, cols, seed = case
+    rng = np.random.default_rng(seed)
+    ifmap = rng.integers(-6, 7, size=(channels, size, size)).astype(np.int64)
+    weights = rng.integers(-4, 5, size=(filters, channels, kernel, kernel)).astype(np.int64)
+    expected = conv2d_reference(ifmap, weights, stride, padding)
+    actual = conv2d_systolic(ifmap, weights, rows, cols, stride, padding)
+    assert np.array_equal(expected, actual)
+
+
+@st.composite
+def layer_configs(draw):
+    layer = ConvLayer(
+        name="p",
+        in_channels=draw(st.integers(1, 64)),
+        in_height=draw(st.integers(4, 32)),
+        in_width=draw(st.integers(4, 32)),
+        out_channels=draw(st.integers(1, 128)),
+        kernel_height=3,
+        kernel_width=3,
+        stride=draw(st.sampled_from([1, 2])),
+        padding=1,
+    )
+    config = NPUConfig(
+        name="p",
+        pe_array_width=draw(st.sampled_from([16, 64, 256])),
+        pe_array_height=draw(st.sampled_from([64, 256])),
+        registers_per_pe=draw(st.sampled_from([1, 2, 8])),
+        psum_buffer_bytes=0,
+        integrated_output_buffer=True,
+    )
+    return layer, config
+
+
+@given(layer_configs())
+@settings(max_examples=50, deadline=None)
+def test_mapping_covers_exactly_the_macs(case):
+    """Tiles always cover every weight, and MAC accounting balances."""
+    layer, config = case
+    mapping = map_layer(layer, config)
+    covered = sum(t.count * t.weights for t in mapping.tiles)
+    assert covered >= layer.weight_count
+    # Per-tile geometry never exceeds the array.
+    for tile in mapping.tiles:
+        assert tile.rows_used <= config.pe_array_height
+        assert tile.cols_used <= config.pe_array_width
+        assert tile.regs_used <= config.registers_per_pe
+
+
+@given(
+    capacity=st.integers(1, 10**7),
+    width=st.integers(1, 512),
+    division=st.integers(1, 128),
+)
+@settings(max_examples=50, deadline=None)
+def test_buffer_geometry_invariants(capacity, width, division):
+    buf = ShiftRegisterBuffer(capacity, io_width=width, division=division)
+    assert buf.chunk_length_entries * division >= buf.row_length_entries
+    assert buf.row_length_entries * width >= buf.total_entries
+    assert buf.rewind_cycles() <= max(1, buf.row_length_entries)
+
+
+@given(
+    setup=st.floats(0.1, 20, allow_nan=False),
+    hold=st.floats(0.1, 20, allow_nan=False),
+    skew=st.floats(0, 100, allow_nan=False),
+    path=st.floats(0.1, 50, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_clocking_invariants(setup, hold, skew, path):
+    fast = concurrent_flow_cct(setup, hold, skew)
+    slow = counter_flow_cct(setup, hold, path)
+    assert fast.cycle_time_ps >= setup + hold
+    # Counter-flow always pays at least setup+hold+path.
+    assert slow.cycle_time_ps >= setup + hold + path
+    assert fast.frequency_ghz > 0 and slow.frequency_ghz > 0
+
+
+@given(
+    bw=st.floats(1, 2000, allow_nan=False),
+    freq=st.floats(0.1, 100, allow_nan=False),
+    nbytes=st.integers(0, 10**9),
+)
+@settings(max_examples=100, deadline=None)
+def test_memory_transfer_invariants(bw, freq, nbytes):
+    memory = MemoryModel(bw, freq)
+    cycles = memory.transfer_cycles(nbytes)
+    assert cycles >= 0
+    assert cycles * memory.bytes_per_cycle >= nbytes - 1e-6
+
+
+@given(st.dictionaries(st.sampled_from(["AND", "XOR", "DFF", "JTL"]),
+                       st.integers(0, 1000), max_size=4),
+       st.integers(1, 7))
+@settings(max_examples=100, deadline=None)
+def test_gatecounts_scaling_distributes(counts, factor):
+    base = GateCounts(counts)
+    scaled = base.scaled(factor)
+    assert scaled.total() == base.total() * factor
+    for name, count in base.items():
+        assert scaled[name] == count * factor
+
+
+@given(st.integers(1, 64), st.integers(1, 8), st.integers(1, 60))
+@settings(max_examples=50, deadline=None)
+def test_batch_scales_macs_linearly(channels, filters, batch):
+    layer = ConvLayer("p", channels, 8, 8, filters, 3, 3, padding=1)
+    assert layer.macs_per_image * batch == batch * layer.output_pixels * filters * layer.reduction_size

@@ -1,0 +1,135 @@
+"""Extended property-based tests across module boundaries."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_io import config_from_dict, config_to_dict
+from repro.device.cells import rsfq_library
+from repro.estimator.arch_level import estimate_npu
+from repro.gatesim.circuits import build_adder
+from repro.simulator.engine import simulate
+from repro.simulator.trace import trace_layer, trace_summary
+from repro.uarch.config import NPUConfig
+from repro.workloads.layers import ConvLayer
+from repro.workloads.models import Network
+
+_LIB = rsfq_library()
+_ADDERS = {}
+
+
+def _adder(bits):
+    if bits not in _ADDERS:
+        _ADDERS[bits] = build_adder(bits)
+    return _ADDERS[bits]
+
+
+@given(bits=st.integers(1, 6), seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_gatesim_adder_property(bits, seed):
+    rng = np.random.default_rng(seed)
+    a = int(rng.integers(0, 1 << bits))
+    b = int(rng.integers(0, 1 << bits))
+    assert _adder(bits).compute(a=a, b=b) == a + b
+
+
+@st.composite
+def sim_cases(draw):
+    layer = ConvLayer(
+        name="p",
+        in_channels=draw(st.sampled_from([3, 16, 64])),
+        in_height=draw(st.sampled_from([8, 14, 28])),
+        in_width=draw(st.sampled_from([8, 14, 28])),
+        out_channels=draw(st.sampled_from([8, 64, 300])),
+        kernel_height=draw(st.sampled_from([1, 3])),
+        kernel_width=draw(st.sampled_from([1, 3])),
+        stride=1,
+        padding=0,
+    )
+    config = NPUConfig(
+        name="prop",
+        pe_array_width=draw(st.sampled_from([32, 64, 256])),
+        pe_array_height=256,
+        ifmap_division=draw(st.sampled_from([1, 64])),
+        output_division=draw(st.sampled_from([1, 64])),
+        registers_per_pe=draw(st.sampled_from([1, 4])),
+        integrated_output_buffer=draw(st.booleans()),
+        psum_buffer_bytes=0,
+    )
+    if not config.integrated_output_buffer:
+        config = config.with_updates(psum_buffer_bytes=8 * 1024 * 1024)
+    batch = draw(st.sampled_from([1, 3, 8]))
+    return layer, config, batch
+
+
+@given(sim_cases())
+@settings(max_examples=40, deadline=None)
+def test_engine_invariants(case):
+    """Cycle accounting is internally consistent for arbitrary configs."""
+    layer, config, batch = case
+    network = Network("prop-net", (layer,))
+    run = simulate(config, network, batch=batch)
+    result = run.layers[0]
+    assert run.total_macs == layer.macs_per_image * batch
+    assert result.total_cycles >= result.compute_cycles
+    assert result.total_cycles >= result.dram_cycles
+    assert result.compute_cycles >= layer.output_pixels * batch
+    assert run.mac_per_s > 0
+    breakdown = run.cycle_breakdown()
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+
+
+@given(sim_cases())
+@settings(max_examples=25, deadline=None)
+def test_trace_always_matches_engine_charges(case):
+    """The trace's phase totals equal the engine's, for any config/layer."""
+    layer, config, batch = case
+    network = Network("prop-net", (layer,))
+    run = simulate(config, network, batch=batch)
+    summary = trace_summary(trace_layer(layer, config, batch))
+    result = run.layers[0]
+    assert summary["weight_load"] == result.weight_load_cycles
+    assert summary["ifmap_rewind"] == result.ifmap_prep_cycles
+    assert summary["compute"] == result.compute_cycles
+    assert summary["psum_move"] == result.psum_move_cycles
+
+
+@given(
+    width=st.sampled_from([32, 64, 128, 256]),
+    buffer_mb=st.sampled_from([4, 12, 24, 48]),
+)
+@settings(max_examples=20, deadline=None)
+def test_estimator_monotone_in_resources(width, buffer_mb):
+    """More buffer means more area and static power, never less."""
+    small = NPUConfig(
+        name="s", pe_array_width=width,
+        ifmap_buffer_bytes=buffer_mb * 2**20,
+        output_buffer_bytes=buffer_mb * 2**20,
+        psum_buffer_bytes=0, integrated_output_buffer=True,
+    )
+    big = small.with_updates(
+        name="b",
+        ifmap_buffer_bytes=2 * buffer_mb * 2**20,
+        output_buffer_bytes=2 * buffer_mb * 2**20,
+    )
+    est_small = estimate_npu(small, _LIB)
+    est_big = estimate_npu(big, _LIB)
+    assert est_big.area_mm2 > est_small.area_mm2
+    assert est_big.static_power_w > est_small.static_power_w
+    assert est_big.frequency_ghz == est_small.frequency_ghz
+
+
+@given(
+    st.builds(
+        dict,
+        name=st.just("prop"),
+        pe_array_width=st.sampled_from([16, 64, 256]),
+        pe_array_height=st.sampled_from([64, 256]),
+        registers_per_pe=st.integers(1, 8),
+        ifmap_division=st.sampled_from([1, 16, 64]),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_config_json_round_trip_property(fields):
+    config = NPUConfig(**fields)
+    assert config_from_dict(config_to_dict(config)) == config

@@ -1,0 +1,63 @@
+"""Throughput-vs-batch curve tests."""
+
+import pytest
+
+from repro.simulator.batch_sweep import BatchPoint, batch_sweep, knee_batch
+from repro.workloads.models import resnet50
+
+
+@pytest.fixture(scope="module")
+def curve(rsfq, supernpu_config):
+    return batch_sweep(supernpu_config, resnet50(), batches=(1, 2, 4, 8, 16, 30),
+                       library=rsfq)
+
+
+def test_throughput_rises_to_a_plateau(curve):
+    """Batching multiplies throughput until residency limits bite; past
+    the peak the curve may dip slightly (activations spill to DRAM)."""
+    values = [p.mac_per_s for p in curve]
+    peak = max(values)
+    assert peak > 5 * values[0]
+    # Strictly rising up to the peak...
+    peak_index = values.index(peak)
+    assert all(a < b for a, b in zip(values[: peak_index + 1], values[1 : peak_index + 1]))
+    # ...and no collapse after it.
+    assert values[-1] > 0.8 * peak
+
+
+def test_latency_grows_but_sublinearly(curve):
+    """Batching amortizes preparation: 30 images cost < 30x one image."""
+    single = curve[0]
+    full = curve[-1]
+    assert full.latency_s > single.latency_s
+    assert full.latency_s < 30 * single.latency_s
+    assert full.latency_per_image_s < single.latency_per_image_s
+
+
+def test_point_accessors(curve):
+    point = curve[0]
+    assert point.tmacs == pytest.approx(point.mac_per_s / 1e12)
+    assert point.latency_per_image_s == point.latency_s
+
+
+def test_knee_is_interior(curve):
+    knee = knee_batch(curve)
+    assert 1 <= knee <= 30
+
+
+def test_knee_threshold_monotone(curve):
+    """A stricter threshold can only push the knee later."""
+    loose = knee_batch(curve, threshold=0.5)
+    strict = knee_batch(curve, threshold=0.01)
+    assert loose <= strict
+
+
+def test_validation(rsfq, supernpu_config):
+    with pytest.raises(ValueError):
+        batch_sweep(supernpu_config, resnet50(), batches=(), library=rsfq)
+    with pytest.raises(ValueError):
+        batch_sweep(supernpu_config, resnet50(), batches=(0,), library=rsfq)
+    with pytest.raises(ValueError):
+        knee_batch([])
+    with pytest.raises(ValueError):
+        knee_batch([BatchPoint(1, 1.0, 1.0)], threshold=2.0)

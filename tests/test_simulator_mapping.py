@@ -1,0 +1,112 @@
+"""Weight-mapping (tiling) tests."""
+
+import pytest
+
+from repro.simulator.mapping import MappingTile, map_layer, utilization
+from repro.uarch.config import NPUConfig
+from repro.workloads.layers import ConvLayer, depthwise_layer, fc_layer
+
+
+def _config(width=256, height=256, regs=1):
+    return NPUConfig(
+        name="t", pe_array_width=width, pe_array_height=height,
+        registers_per_pe=regs,
+        psum_buffer_bytes=0 if regs else 0,
+        integrated_output_buffer=False,
+    )
+
+
+def _conv(cin=64, size=14, cout=128, k=3):
+    return ConvLayer("c", cin, size, size, cout, k, k, padding=k // 2)
+
+
+def test_exact_fit_single_tile():
+    layer = ConvLayer("c", 256, 8, 8, 256, 1, 1)
+    mapping = map_layer(layer, _config())
+    assert mapping.total_mappings == 1
+    tile = mapping.tiles[0]
+    assert tile.rows_used == 256 and tile.cols_used == 256
+    assert not tile.accumulates
+
+
+def test_row_tiling_marks_accumulation():
+    layer = _conv(cin=64, cout=128, k=3)  # reduction 576 -> 3 row tiles
+    mapping = map_layer(layer, _config())
+    assert mapping.row_tiles == 3
+    accumulating = [t for t in mapping.tiles if t.accumulates]
+    final = [t for t in mapping.tiles if not t.accumulates]
+    assert sum(t.count for t in accumulating) == 2
+    assert sum(t.count for t in final) == 1
+
+
+def test_column_tiling():
+    layer = ConvLayer("c", 128, 8, 8, 600, 1, 1)
+    mapping = map_layer(layer, _config())
+    assert mapping.col_tiles == 3  # 2 full 256-wide + 1 remainder of 88
+    remainder = mapping.tiles[-1]
+    assert remainder.cols_used == 88
+
+
+def test_registers_shrink_column_tiles():
+    layer = ConvLayer("c", 128, 8, 8, 512, 1, 1)
+    flat = map_layer(layer, _config(width=64, regs=1))
+    stacked = map_layer(layer, _config(width=64, regs=8))
+    assert flat.col_tiles == 8
+    assert stacked.col_tiles == 1
+    assert stacked.tiles[0].regs_used == 8
+
+
+def test_register_remainder_spreads_over_columns():
+    layer = ConvLayer("c", 128, 8, 8, 100, 1, 1)
+    mapping = map_layer(layer, _config(width=64, regs=8))
+    tile = mapping.tiles[0]
+    # 100 filters over 64 columns need 2 register planes, 50 columns.
+    assert tile.regs_used == 2
+    assert tile.cols_used == 50
+    assert tile.cols_used * tile.regs_used >= 100
+
+
+def test_depthwise_aggregates_groups():
+    layer = depthwise_layer("dw", channels=512, in_size=14)
+    mapping = map_layer(layer, _config())
+    assert mapping.total_mappings == 512
+    assert len(mapping.tiles) == 1  # aggregated, not 512 records
+    assert mapping.tiles[0].count == 512
+    assert mapping.tiles[0].rows_used == 9
+    assert mapping.tiles[0].cols_used == 1
+
+
+def test_fc_layer_mapping():
+    layer = fc_layer("fc", 4096, 1000)
+    mapping = map_layer(layer, _config())
+    assert mapping.row_tiles == 16
+    assert mapping.col_tiles == 4
+
+
+def test_tiles_cover_all_weights():
+    layer = _conv(cin=100, cout=300, k=3)
+    config = _config(width=64, regs=4)
+    mapping = map_layer(layer, config)
+    covered = sum(t.count * t.weights for t in mapping.tiles)
+    assert covered >= layer.weight_count
+    # Padding waste is bounded by one tile's worth.
+    assert covered <= layer.weight_count + 256 * 64 * 4
+
+
+def test_macs_accounting():
+    layer = ConvLayer("c", 256, 8, 8, 256, 1, 1)
+    mapping = map_layer(layer, _config())
+    vectors = layer.output_pixels
+    assert sum(t.count * t.macs(vectors) for t in mapping.tiles) == layer.macs_per_image
+
+
+def test_utilization_bounds():
+    config = _config(width=64, regs=8)
+    layer = ConvLayer("c", 256, 8, 8, 512, 1, 1)
+    for tile in map_layer(layer, config).tiles:
+        assert 0.0 < utilization(tile, config) <= 1.0
+
+
+def test_invalid_tile_rejected():
+    with pytest.raises(ValueError):
+        MappingTile(rows_used=0, cols_used=1, regs_used=1)

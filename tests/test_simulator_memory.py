@@ -1,0 +1,46 @@
+"""Off-chip memory model tests."""
+
+import math
+
+import pytest
+
+from repro.simulator.memory import MemoryModel
+
+
+def test_bytes_per_cycle_at_paper_operating_point():
+    """300 GB/s at 52.6 GHz is only ~5.7 B/cycle — the starvation figure."""
+    memory = MemoryModel(bandwidth_gbps=300.0, frequency_ghz=52.6)
+    assert math.isclose(memory.bytes_per_cycle, 300 / 52.6, rel_tol=1e-9)
+    assert 5.5 < memory.bytes_per_cycle < 6.0
+
+
+def test_tpu_gets_far_more_bytes_per_cycle():
+    tpu = MemoryModel(bandwidth_gbps=300.0, frequency_ghz=0.7)
+    sfq = MemoryModel(bandwidth_gbps=300.0, frequency_ghz=52.6)
+    assert tpu.bytes_per_cycle > 70 * sfq.bytes_per_cycle
+
+
+def test_transfer_cycles_rounds_up():
+    memory = MemoryModel(bandwidth_gbps=300.0, frequency_ghz=52.6)
+    assert memory.transfer_cycles(0) == 0
+    assert memory.transfer_cycles(1) == 1
+    assert memory.transfer_cycles(570) == math.ceil(570 / (300 / 52.6))
+
+
+def test_transfer_scales_linearly():
+    memory = MemoryModel(bandwidth_gbps=100.0, frequency_ghz=1.0)
+    assert memory.transfer_cycles(2_000_000) == 2 * memory.transfer_cycles(1_000_000)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"bandwidth_gbps": 0, "frequency_ghz": 1.0},
+    {"bandwidth_gbps": 100.0, "frequency_ghz": 0},
+])
+def test_invalid_memory_model(kwargs):
+    with pytest.raises(ValueError):
+        MemoryModel(**kwargs)
+
+
+def test_negative_transfer_rejected():
+    with pytest.raises(ValueError):
+        MemoryModel(300.0, 1.0).transfer_cycles(-1)

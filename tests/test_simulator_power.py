@@ -1,0 +1,67 @@
+"""Activity-driven power aggregation tests (Table III behaviour)."""
+
+import pytest
+
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.power import power_report
+from repro.workloads.models import resnet50
+
+
+def _power(config, library, network, batch):
+    estimate = estimate_npu(config, library)
+    run = simulate(config, network, batch=batch, estimate=estimate)
+    return power_report(run, estimate)
+
+
+def test_rsfq_power_dominated_by_static(rsfq, supernpu_config):
+    report = _power(supernpu_config, rsfq, resnet50(), 30)
+    assert report.static_w > 100 * report.dynamic_w
+    assert report.total_w == pytest.approx(report.static_w + report.dynamic_w)
+
+
+def test_ersfq_is_dynamic_only(ersfq, supernpu_config):
+    report = _power(supernpu_config, ersfq, resnet50(), 30)
+    assert report.static_w == 0.0
+    assert report.dynamic_w > 0.0
+
+
+def test_ersfq_supernpu_lands_near_paper_2w(ersfq, supernpu_config):
+    """Table III: ERSFQ-SuperNPU consumes ~1.9 W while running."""
+    report = _power(supernpu_config, ersfq, resnet50(), 30)
+    assert 0.5 <= report.total_w <= 3.0
+
+
+def test_rsfq_supernpu_lands_near_paper_964w(rsfq, supernpu_config):
+    report = _power(supernpu_config, rsfq, resnet50(), 30)
+    assert 900 <= report.total_w <= 1030
+
+
+def test_ersfq_dynamic_roughly_double_rsfq_dynamic(rsfq, ersfq, supernpu_config):
+    """Section IV-A1: ERSFQ doubles switching energy."""
+    net = resnet50()
+    d_rsfq = _power(supernpu_config, rsfq, net, 30).dynamic_w
+    d_ersfq = _power(supernpu_config, ersfq, net, 30).dynamic_w
+    assert d_ersfq == pytest.approx(2 * d_rsfq, rel=1e-6)
+
+
+def test_pe_array_is_largest_dynamic_consumer(ersfq, supernpu_config):
+    report = _power(supernpu_config, ersfq, resnet50(), 30)
+    assert max(report.dynamic_by_unit, key=report.dynamic_by_unit.get) == "pe_array"
+
+
+def test_data_activity_bounds(rsfq, supernpu_config, tiny_network):
+    estimate = estimate_npu(supernpu_config, rsfq)
+    run = simulate(supernpu_config, tiny_network, batch=1, estimate=estimate)
+    with pytest.raises(ValueError):
+        power_report(run, estimate, data_activity=1.5)
+    with pytest.raises(ValueError):
+        power_report(run, estimate, data_activity=-0.1)
+
+
+def test_higher_activity_means_more_power(rsfq, supernpu_config, tiny_network):
+    estimate = estimate_npu(supernpu_config, rsfq)
+    run = simulate(supernpu_config, tiny_network, batch=1, estimate=estimate)
+    low = power_report(run, estimate, data_activity=0.1)
+    high = power_report(run, estimate, data_activity=0.9)
+    assert high.dynamic_w > low.dynamic_w

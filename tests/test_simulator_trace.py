@@ -1,0 +1,84 @@
+"""Execution-trace tests."""
+
+import pytest
+
+from repro.core.designs import baseline, supernpu
+from repro.simulator.trace import (
+    PHASES,
+    TraceEvent,
+    trace_layer,
+    trace_summary,
+    trace_to_csv,
+    verify_against_engine,
+)
+from repro.workloads.models import resnet50, vgg16
+
+
+@pytest.fixture(scope="module")
+def multi_mapping_layer():
+    # conv3_1 of VGG16: reduction 1152 -> several row tiles on 256 rows.
+    return vgg16().layers[4]
+
+
+def test_events_are_contiguous_and_ordered(multi_mapping_layer):
+    events = trace_layer(multi_mapping_layer, baseline(), batch=1)
+    assert events[0].start_cycle == 0
+    for previous, current in zip(events, events[1:]):
+        assert current.start_cycle == previous.end_cycle
+        assert current.mapping_index >= previous.mapping_index
+
+
+def test_phases_follow_mapping_structure(multi_mapping_layer):
+    events = trace_layer(multi_mapping_layer, baseline(), batch=1)
+    # Baseline: first mapping has no rewind; accumulating tiles move psums.
+    first = [e.phase for e in events if e.mapping_index == 0]
+    assert first[0] == "weight_load"
+    assert "ifmap_rewind" not in first
+    second = [e.phase for e in events if e.mapping_index == 1]
+    assert "ifmap_rewind" in second
+    assert any(e.phase == "psum_move" for e in events)
+
+
+def test_integrated_design_has_no_psum_moves(multi_mapping_layer):
+    events = trace_layer(multi_mapping_layer, supernpu(), batch=1)
+    assert all(e.phase != "psum_move" for e in events)
+
+
+def test_trace_matches_engine_baseline(multi_mapping_layer):
+    assert verify_against_engine(multi_mapping_layer, baseline(), batch=1)
+
+
+def test_trace_matches_engine_supernpu(multi_mapping_layer):
+    assert verify_against_engine(multi_mapping_layer, supernpu(), batch=4)
+
+
+def test_trace_matches_engine_on_depthwise():
+    from repro.workloads.models import mobilenet
+
+    dw_layer = next(l for l in mobilenet().layers if l.is_depthwise)
+    assert verify_against_engine(dw_layer, supernpu(), batch=2)
+
+
+def test_summary_totals(multi_mapping_layer):
+    events = trace_layer(multi_mapping_layer, baseline(), batch=1)
+    summary = trace_summary(events)
+    assert set(summary) == set(PHASES) | {"total"}
+    assert summary["total"] == events[-1].end_cycle
+    assert sum(summary[p] for p in PHASES) == summary["total"]
+
+
+def test_csv_rendering(multi_mapping_layer):
+    events = trace_layer(multi_mapping_layer, supernpu(), batch=1)
+    text = trace_to_csv(events)
+    lines = text.strip().splitlines()
+    assert lines[0] == "mapping,phase,start_cycle,end_cycle,duration"
+    assert len(lines) == len(events) + 1
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        TraceEvent(0, "siesta", 0, 1)
+    with pytest.raises(ValueError):
+        TraceEvent(0, "compute", 5, 4)
+    with pytest.raises(ValueError):
+        trace_layer(vgg16().layers[0], baseline(), batch=0)

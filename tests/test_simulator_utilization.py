@@ -1,0 +1,60 @@
+"""Per-unit utilization report tests."""
+
+import pytest
+
+from repro.core.designs import baseline, supernpu
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.engine import simulate
+from repro.simulator.utilization import compare_utilization, utilization_report
+from repro.workloads.models import resnet50
+
+
+@pytest.fixture(scope="module")
+def runs(rsfq):
+    out = []
+    for config, batch in ((baseline(), 1), (supernpu(), 30)):
+        estimate = estimate_npu(config, rsfq)
+        out.append(simulate(config, resnet50(), batch=batch, estimate=estimate))
+    return out
+
+
+def test_utilization_bounds(runs):
+    for run in runs:
+        report = utilization_report(run)
+        assert all(0.0 <= value <= 1.0 for value in report.per_unit.values())
+
+
+def test_pe_utilization_matches_throughput_definition(runs, rsfq):
+    """The report's PE figure equals effective/peak throughput."""
+    run = runs[1]
+    estimate = estimate_npu(supernpu(), rsfq)
+    report = utilization_report(run)
+    assert report.pe_utilization == pytest.approx(
+        run.pe_utilization(estimate.peak_mac_per_s), rel=1e-6
+    )
+
+
+def test_optimizations_raise_pe_utilization(runs):
+    """The Section V story: Baseline idles, SuperNPU computes."""
+    baseline_report = utilization_report(runs[0])
+    supernpu_report = utilization_report(runs[1])
+    assert baseline_report.pe_utilization < 0.01
+    assert supernpu_report.pe_utilization > 0.3
+
+
+def test_busiest_unit(runs):
+    report = utilization_report(runs[1])
+    assert report.busiest_unit() in report.per_unit
+
+
+def test_compare_keys(runs):
+    reports = compare_utilization(runs)
+    assert set(reports) == {"Baseline", "SuperNPU"}
+
+
+def test_zero_cycle_run_rejected():
+    from repro.simulator.results import ActivityTrace, SimulationResult
+
+    empty = SimulationResult("d", "n", 1, 52.6, [], ActivityTrace())
+    with pytest.raises(ValueError):
+        utilization_report(empty)

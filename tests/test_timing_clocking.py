@@ -1,0 +1,79 @@
+"""Clocking-scheme tests, anchored to the paper's Fig. 7c measurements."""
+
+import math
+
+import pytest
+
+from repro.device import cells
+from repro.device.cells import rsfq_library
+from repro.timing.clocking import (
+    ClockingScheme,
+    concurrent_flow_cct,
+    counter_flow_cct,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return rsfq_library()
+
+
+def test_concurrent_flow_basic_formula():
+    constraint = concurrent_flow_cct(setup_ps=3.0, hold_ps=4.0, skew_residual_ps=1.0)
+    # delta_t below hold time: CCT = setup + hold.
+    assert constraint.cycle_time_ps == 7.0
+    assert constraint.scheme is ClockingScheme.CONCURRENT_FLOW
+
+
+def test_concurrent_flow_large_mismatch_dominates():
+    constraint = concurrent_flow_cct(setup_ps=3.0, hold_ps=4.0, skew_residual_ps=10.0)
+    assert constraint.cycle_time_ps == 13.0
+
+
+def test_negative_skew_clamped_to_zero():
+    constraint = concurrent_flow_cct(setup_ps=3.0, hold_ps=4.0, skew_residual_ps=-5.0)
+    assert constraint.delta_t_ps == 0.0
+    assert constraint.cycle_time_ps == 7.0
+
+
+def test_counter_flow_pays_data_and_clock_path():
+    constraint = counter_flow_cct(
+        setup_ps=3.0, hold_ps=4.0, data_path_delay_ps=5.0, clock_hop_ps=2.0
+    )
+    assert constraint.cycle_time_ps == 14.0
+    assert constraint.scheme is ClockingScheme.COUNTER_FLOW
+
+
+def test_frequency_conversion():
+    constraint = concurrent_flow_cct(setup_ps=5.0, hold_ps=5.0)
+    assert math.isclose(constraint.frequency_ghz, 100.0)
+
+
+def test_shift_register_fig7c_anchor(lib):
+    """SR: 133 GHz concurrent-flow, 71 GHz counter-flow (Fig. 7c)."""
+    dff = lib[cells.DFF]
+    fast = concurrent_flow_cct(dff.setup_ps, dff.hold_ps)
+    assert math.isclose(fast.frequency_ghz, 133.3, rel_tol=0.01)
+    loop_path = dff.delay_ps + 1.6  # register delay + feedback wire
+    slow = counter_flow_cct(dff.setup_ps, dff.hold_ps, loop_path)
+    assert math.isclose(slow.frequency_ghz, 71.4, rel_tol=0.01)
+
+
+def test_full_adder_fig7c_anchor(lib):
+    """FA: 66 GHz concurrent-flow; ~30 GHz with the accumulator loop."""
+    and_gate = lib[cells.AND]
+    fast = concurrent_flow_cct(and_gate.setup_ps, and_gate.hold_ps)
+    assert math.isclose(fast.frequency_ghz, 66.7, rel_tol=0.01)
+    # Feedback loop: adder output -> wire -> register -> wire back.
+    loop_path = and_gate.delay_ps + 1.6 + lib[cells.DFF].delay_ps + 1.6
+    slow = counter_flow_cct(and_gate.setup_ps, and_gate.hold_ps, loop_path)
+    assert 29.0 <= slow.frequency_ghz <= 33.0
+
+
+def test_feedback_loop_halves_frequency(lib):
+    """The qualitative Fig. 7 claim: loops roughly halve the clock."""
+    for name in (cells.AND, cells.DFF):
+        cell = lib[name]
+        fast = concurrent_flow_cct(cell.setup_ps, cell.hold_ps)
+        slow = counter_flow_cct(cell.setup_ps, cell.hold_ps, cell.delay_ps + 3.2)
+        assert slow.frequency_ghz < 0.65 * fast.frequency_ghz

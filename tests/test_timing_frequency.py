@@ -1,0 +1,79 @@
+"""Gate-pair frequency-model tests (paper Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.device import cells
+from repro.timing.clocking import ClockingScheme
+from repro.timing.frequency import (
+    FrequencyReport,
+    GatePair,
+    combine_frequencies,
+    unit_frequency,
+)
+
+
+def test_concurrent_pair_resolution(rsfq):
+    pair = GatePair(cells.DFF, cells.DFF)
+    constraint = pair.resolve(rsfq)
+    # setup 3.5 + max(hold 4.0, default residual 1.0) = 7.5 ps.
+    assert math.isclose(constraint.cycle_time_ps, 7.5)
+
+
+def test_counter_flow_pair_resolution(rsfq):
+    pair = GatePair(cells.DFF, cells.DFF, scheme=ClockingScheme.COUNTER_FLOW)
+    constraint = pair.resolve(rsfq)
+    # setup + hold + (delay + wire) + clock hop = 3.5+4.0+(3.3+1.6)+1.6.
+    assert math.isclose(constraint.cycle_time_ps, 14.0)
+
+
+def test_feedback_extra_delay_lengthens_period(rsfq):
+    short = GatePair(cells.AND, cells.AND, scheme=ClockingScheme.COUNTER_FLOW)
+    long = GatePair(
+        cells.AND, cells.AND, scheme=ClockingScheme.COUNTER_FLOW,
+        feedback_extra_delay_ps=5.0,
+    )
+    assert long.resolve(rsfq).cycle_time_ps == short.resolve(rsfq).cycle_time_ps + 5.0
+
+
+def test_unclocked_destination_rejected(rsfq):
+    pair = GatePair(cells.DFF, cells.SPLITTER)
+    with pytest.raises(ValueError, match="unclocked"):
+        pair.resolve(rsfq)
+
+
+def test_unit_frequency_takes_worst_pair(rsfq):
+    pairs = [
+        GatePair(cells.DFF, cells.DFF),  # 7.5 ps
+        GatePair(cells.XOR, cells.AND, skew_residual_ps=20.0),  # 26 ps
+    ]
+    report = unit_frequency(pairs, rsfq)
+    assert math.isclose(report.cycle_time_ps, 26.0)
+    assert report.critical_pair is pairs[1]
+    assert len(report.constraints) == 2
+
+
+def test_unit_frequency_empty_raises(rsfq):
+    with pytest.raises(ValueError, match="no gate pairs"):
+        unit_frequency([], rsfq)
+
+
+def test_combine_frequencies_picks_slowest():
+    fast = FrequencyReport(cycle_time_ps=10.0, frequency_ghz=100.0, critical_pair=None)
+    slow = FrequencyReport(cycle_time_ps=25.0, frequency_ghz=40.0, critical_pair=None)
+    assert combine_frequencies([fast, slow]) is slow
+
+
+def test_combine_frequencies_empty_raises():
+    with pytest.raises(ValueError):
+        combine_frequencies([])
+
+
+def test_frequency_monotone_in_skew_residual(rsfq):
+    previous = None
+    for residual in (1.0, 5.0, 10.0, 50.0):
+        freq = GatePair(cells.DFF, cells.DFF, skew_residual_ps=residual).resolve(rsfq)
+        if previous is not None:
+            assert freq.cycle_time_ps >= previous
+        previous = freq.cycle_time_ps

@@ -1,0 +1,48 @@
+"""ReLU / max-pool unit tests."""
+
+import pytest
+
+from repro.device import cells
+from repro.uarch.activation import MaxPoolUnit, ReLUUnit
+
+
+def test_relu_gate_counts_scale_with_lanes():
+    small = ReLUUnit(lanes=8, bits=24).gate_counts()
+    large = ReLUUnit(lanes=64, bits=24).gate_counts()
+    assert large[cells.AND] == 8 * small[cells.AND]
+    assert small[cells.NOT] == 8
+    assert small[cells.AND] == 8 * 24
+
+
+def test_maxpool_has_readable_register():
+    counts = MaxPoolUnit(lanes=4, bits=8).gate_counts()
+    assert counts[cells.NDRO] == 32  # running max must be re-readable
+    assert counts[cells.MUX] == 32
+
+
+def test_activation_units_do_not_bound_clock(rsfq):
+    """They sit on the output path and must not drag the 52.6 GHz clock."""
+    relu = ReLUUnit(lanes=64, bits=24)
+    pool = MaxPoolUnit(lanes=64, bits=8)
+    assert relu.frequency(rsfq).frequency_ghz > 52.6
+    assert pool.frequency(rsfq).frequency_ghz > 52.6
+
+
+def test_activation_units_are_negligible_overhead(rsfq, supernpu_config):
+    """<0.1% of chip power and area — which is why Fig. 3 omits them."""
+    from repro.estimator.arch_level import estimate_npu
+
+    estimate = estimate_npu(supernpu_config, rsfq)
+    overhead_power = (
+        estimate.units["relu"].static_power_w + estimate.units["maxpool"].static_power_w
+    )
+    overhead_area = estimate.units["relu"].area_mm2 + estimate.units["maxpool"].area_mm2
+    assert overhead_power < 1e-3 * estimate.static_power_w
+    assert overhead_area < 1e-3 * estimate.area_mm2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReLUUnit(lanes=0)
+    with pytest.raises(ValueError):
+        MaxPoolUnit(lanes=4, bits=0)

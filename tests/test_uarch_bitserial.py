@@ -1,0 +1,48 @@
+"""Bit-serial MAC ablation tests (the Section VII related-work claim)."""
+
+import pytest
+
+from repro.uarch.bitserial import BitSerialMAC
+from repro.uarch.mac import MACUnit
+
+
+def test_cycles_per_mac():
+    assert BitSerialMAC(8, 24).cycles_per_mac == 64
+    assert BitSerialMAC(4, 8).cycles_per_mac == 16
+
+
+def test_bit_serial_is_tiny(rsfq):
+    serial = BitSerialMAC(8, 24)
+    parallel = MACUnit(8, 24)
+    assert serial.jj_count(rsfq) < 0.1 * parallel.jj_count(rsfq)
+
+
+def test_bit_serial_clocks_at_least_as_fast(rsfq):
+    serial = BitSerialMAC(8, 24)
+    parallel = MACUnit(8, 24)
+    assert serial.frequency(rsfq).frequency_ghz >= parallel.frequency(rsfq).frequency_ghz
+
+
+def test_throughput_gap_is_dramatic(rsfq):
+    """The paper's related-work observation: bit-serial throughput is low
+    despite high clock speed."""
+    serial = BitSerialMAC(8, 24)
+    parallel = MACUnit(8, 24)
+    parallel_tput = parallel.frequency(rsfq).frequency_ghz * 1e9  # 1 MAC/cycle
+    assert serial.throughput_mac_per_s(rsfq) < parallel_tput / 30
+
+
+def test_bit_parallel_wins_even_per_junction(rsfq):
+    """Normalized by area (JJ count), bit-parallel still comes out ahead —
+    the reason SuperNPU is a bit-parallel design."""
+    serial = BitSerialMAC(8, 24)
+    parallel = MACUnit(8, 24)
+    parallel_per_jj = parallel.frequency(rsfq).frequency_ghz * 1e9 / parallel.jj_count(rsfq)
+    assert parallel_per_jj > serial.throughput_per_jj(rsfq)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BitSerialMAC(1, 8)
+    with pytest.raises(ValueError):
+        BitSerialMAC(8, 10)

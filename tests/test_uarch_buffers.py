@@ -1,0 +1,101 @@
+"""Shift-register buffer geometry and structure tests."""
+
+import pytest
+
+from repro.device import cells
+from repro.uarch.buffers import IntegratedOutputBuffer, ShiftRegisterBuffer
+
+MIB = 1024 * 1024
+
+
+def test_paper_65536_cycle_movement():
+    """Section V-A2: moving 16 MB through 256 B/cycle takes 65,536 cycles."""
+    psum = ShiftRegisterBuffer(8 * MIB, io_width=256)
+    ofmap = ShiftRegisterBuffer(8 * MIB, io_width=256)
+    assert psum.row_length_entries + ofmap.row_length_entries == 65536
+
+
+def test_row_length_is_capacity_over_width():
+    buf = ShiftRegisterBuffer(8 * MIB, io_width=256)
+    assert buf.row_length_entries == 8 * MIB // 256
+
+
+def test_division_shortens_chunks():
+    undivided = ShiftRegisterBuffer(12 * MIB, io_width=256, division=1)
+    divided = ShiftRegisterBuffer(12 * MIB, io_width=256, division=64)
+    assert divided.chunk_length_entries == undivided.chunk_length_entries // 64
+    assert divided.rewind_cycles() < undivided.rewind_cycles()
+
+
+def test_chunk_capacity():
+    buf = ShiftRegisterBuffer(24 * MIB, io_width=256, division=256)
+    # Fig. 19: the integrated output buffer is 256 chunks of 96 KB.
+    assert buf.chunk_capacity_bytes == 96 * 1024
+
+
+def test_drain_cycles_default_full_capacity():
+    buf = ShiftRegisterBuffer(1024, io_width=4)
+    assert buf.drain_cycles() == 256
+    assert buf.drain_cycles(512) == 128
+    assert buf.drain_cycles(0) == 0
+
+
+def test_storage_uses_dense_sr_cells():
+    buf = ShiftRegisterBuffer(1024, io_width=4)
+    counts = buf.gate_counts()
+    assert counts[cells.SRCELL] == 1024 * 8
+    assert counts[cells.DFF] == 0
+
+
+def test_division_adds_mux_demux_trees():
+    flat = ShiftRegisterBuffer(1 * MIB, io_width=64, division=1).gate_counts()
+    chunked = ShiftRegisterBuffer(1 * MIB, io_width=64, division=8).gate_counts()
+    assert flat[cells.MUX] == 0
+    assert chunked[cells.MUX] == 7 * 64 * 8
+    assert chunked[cells.DEMUX] == chunked[cells.MUX]
+
+
+def test_integrated_buffer_doubles_select_trees():
+    plain = ShiftRegisterBuffer(1 * MIB, io_width=64, division=8).gate_counts()
+    integrated = IntegratedOutputBuffer(1 * MIB, io_width=64, division=8).gate_counts()
+    assert integrated[cells.MUX] == 2 * plain[cells.MUX]
+
+
+def test_integrated_buffer_moves_for_free():
+    buf = IntegratedOutputBuffer(12 * MIB, io_width=256, division=64)
+    assert buf.inter_buffer_move_cycles() == 0
+
+
+def test_counter_flow_bounds_buffer_clock(rsfq):
+    """The feedback loop forces counter-flow: ~71 GHz (Fig. 7c)."""
+    buf = ShiftRegisterBuffer(1024, io_width=4)
+    assert buf.frequency(rsfq).frequency_ghz == pytest.approx(71.4, rel=0.01)
+
+
+def test_mux_overhead_grows_superlinearly(rsfq):
+    """Fig. 20: 'further division incurs exponentially increasing area'."""
+    areas = [
+        ShiftRegisterBuffer(12 * MIB, io_width=256, division=d).area_mm2(rsfq)
+        for d in (64, 1024, 4096)
+    ]
+    assert areas[0] < areas[1] < areas[2]
+    assert areas[2] - areas[1] > areas[1] - areas[0]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"capacity_bytes": -1, "io_width": 1},
+        {"capacity_bytes": 64, "io_width": 0},
+        {"capacity_bytes": 64, "io_width": 1, "entry_bits": 0},
+        {"capacity_bytes": 64, "io_width": 1, "division": 0},
+    ],
+)
+def test_invalid_buffer_parameters(kwargs):
+    with pytest.raises(ValueError):
+        ShiftRegisterBuffer(**kwargs)
+
+
+def test_drain_negative_rejected():
+    with pytest.raises(ValueError):
+        ShiftRegisterBuffer(64, io_width=1).drain_cycles(-1)

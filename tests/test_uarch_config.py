@@ -1,0 +1,69 @@
+"""NPUConfig validation and derived-quantity tests."""
+
+import math
+
+import pytest
+
+from repro.uarch.config import KIB, MIB, NPUConfig
+
+
+def test_default_config_is_valid():
+    config = NPUConfig(name="default")
+    assert config.num_pes == 65536
+    assert config.weights_per_tile == 256
+
+
+def test_onchip_buffer_total():
+    config = NPUConfig(name="x")
+    assert config.onchip_buffer_bytes == 24 * MIB + 64 * KIB
+
+
+def test_peak_performance():
+    config = NPUConfig(name="x")
+    # 65536 PEs at 52.6 GHz = ~3447 TMAC/s (Table I's peak magnitude).
+    assert math.isclose(config.peak_mac_per_s(52.6), 65536 * 52.6e9)
+
+
+def test_dram_bytes_per_cycle():
+    config = NPUConfig(name="x", memory_bandwidth_gbps=300.0)
+    # ~5.7 bytes per 52.6 GHz cycle — the starvation number.
+    assert math.isclose(config.dram_bytes_per_cycle(52.6), 300 / 52.6)
+
+
+def test_weights_per_tile_includes_registers():
+    config = NPUConfig(
+        name="x", pe_array_width=64, registers_per_pe=8,
+        psum_buffer_bytes=0, integrated_output_buffer=True,
+    )
+    assert config.weights_per_tile == 512
+
+
+def test_with_updates_creates_modified_copy():
+    config = NPUConfig(name="x")
+    other = config.with_updates(name="y", ifmap_division=64)
+    assert other.name == "y"
+    assert other.ifmap_division == 64
+    assert config.ifmap_division == 1
+
+
+@pytest.mark.parametrize(
+    "changes",
+    [
+        {"pe_array_width": 0},
+        {"pe_array_height": -1},
+        {"data_bits": 0},
+        {"psum_bits": 4},
+        {"ifmap_division": 0},
+        {"output_division": 0},
+        {"registers_per_pe": 0},
+        {"ifmap_buffer_bytes": -1},
+    ],
+)
+def test_invalid_configs_rejected(changes):
+    with pytest.raises(ValueError):
+        NPUConfig(name="bad", **changes)
+
+
+def test_integrated_design_must_drop_psum_buffer():
+    with pytest.raises(ValueError, match="psum"):
+        NPUConfig(name="bad", integrated_output_buffer=True, psum_buffer_bytes=8 * MIB)

@@ -1,0 +1,58 @@
+"""Generated-netlist MAC unit tests (the analytic model, cross-checked)."""
+
+import pytest
+
+from repro.uarch.generated import GeneratedMACUnit
+from repro.uarch.mac import MACUnit
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return GeneratedMACUnit(8, 24)
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    return MACUnit(8, 24)
+
+
+def test_netlist_still_computes(generated):
+    assert generated.verify(samples=6)
+
+
+def test_generated_counts_upper_bound_analytic(rsfq, generated, analytic):
+    """The naive shift-add netlist must cost more than the carry-save
+    model, but stay within a small constant factor."""
+    gen_total = generated.gate_counts().total()
+    ana_total = analytic.gate_counts().total()
+    assert ana_total < gen_total < 5 * ana_total
+
+
+def test_generated_is_dff_dominated(generated):
+    counts = generated.gate_counts()
+    from repro.device import cells
+
+    logic = counts[cells.AND] + counts[cells.XOR] + counts[cells.OR]
+    assert counts[cells.DFF] > 2 * logic
+
+
+def test_generated_pipeline_deeper_than_carry_save(generated, analytic):
+    assert generated.pipeline_stages > analytic.pipeline_stages
+
+
+def test_same_clock_as_analytic(rsfq, generated, analytic):
+    """Depth costs latency, not clock rate: both run at the AND-pair bound."""
+    assert generated.frequency(rsfq).frequency_ghz == pytest.approx(
+        analytic.frequency(rsfq).frequency_ghz
+    )
+
+
+def test_fanout_splitters_charged(generated):
+    from repro.device import cells
+
+    assert generated.gate_counts()[cells.SPLITTER] > 0
+
+
+def test_psum_width_validation():
+    with pytest.raises(ValueError):
+        GeneratedMACUnit(8, 8)

@@ -1,0 +1,68 @@
+"""MAC-unit structure and frequency tests."""
+
+import math
+
+import pytest
+
+from repro.device import cells
+from repro.uarch.mac import Dataflow, MACUnit, full_adder_counts
+
+
+def test_full_adder_decomposition():
+    counts = full_adder_counts()
+    assert counts[cells.XOR] == 2
+    assert counts[cells.AND] == 2
+    assert counts[cells.OR] == 1
+
+
+def test_8bit_mac_has_15_pipeline_stages():
+    """Paper Section III-C: 'our 8-bit PE consists of 15 pipeline stages'."""
+    assert MACUnit(8, 24).pipeline_stages == 15
+
+
+def test_4bit_mac_has_7_stages():
+    assert MACUnit(4, 8).pipeline_stages == 7
+
+
+def test_partial_product_and_count():
+    counts = MACUnit(8, 24).gate_counts()
+    # At least the 64 partial-product ANDs plus the adder-array ANDs.
+    assert counts[cells.AND] >= 64
+
+
+def test_gate_counts_grow_with_width():
+    small = MACUnit(4, 8).gate_counts().total()
+    large = MACUnit(8, 24).gate_counts().total()
+    assert large > 2 * small
+
+
+def test_ws_frequency_anchor(rsfq):
+    """An 8-bit WS MAC clocks just under the 66.7 GHz AND-pair bound."""
+    freq = MACUnit(8, 24).frequency(rsfq).frequency_ghz
+    assert 60.0 <= freq <= 66.7
+
+
+def test_os_dataflow_roughly_halves_frequency(rsfq):
+    """Fig. 7(c): the accumulate loop forces counter-flow clocking."""
+    ws = MACUnit(8, 24, Dataflow.WEIGHT_STATIONARY).frequency(rsfq).frequency_ghz
+    os = MACUnit(8, 24, Dataflow.OUTPUT_STATIONARY).frequency(rsfq).frequency_ghz
+    assert os < 0.55 * ws
+    assert 29.0 <= os <= 34.0
+
+
+def test_wider_mac_is_slower(rsfq):
+    f4 = MACUnit(4, 8).frequency(rsfq).frequency_ghz
+    f8 = MACUnit(8, 24).frequency(rsfq).frequency_ghz
+    assert f8 <= f4
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValueError):
+        MACUnit(1, 8)
+    with pytest.raises(ValueError, match="psum"):
+        MACUnit(8, 8)
+
+
+def test_frequency_ghz_convenience(rsfq):
+    mac = MACUnit(8, 24)
+    assert math.isclose(mac.frequency_ghz(rsfq), mac.frequency(rsfq).frequency_ghz)

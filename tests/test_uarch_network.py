@@ -1,0 +1,67 @@
+"""On-chip network design tests (paper Fig. 5 comparison)."""
+
+import pytest
+
+from repro.uarch.network import (
+    SplitterTree1D,
+    SplitterTree2D,
+    SystolicChain,
+    compare_designs,
+)
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+def test_systolic_has_smallest_delay_and_area(rsfq, width):
+    """Fig. 5: the systolic chain wins both metrics at every width."""
+    results = compare_designs(width, bits=8, library=rsfq)
+    systolic = results["systolic_array"]
+    for name in ("2d_splitter_tree", "1d_splitter_tree"):
+        assert systolic["critical_path_delay_ps"] <= results[name]["critical_path_delay_ps"]
+        assert systolic["area_mm2"] < results[name]["area_mm2"]
+
+
+def test_2d_tree_delay_grows_linearly_with_width(rsfq):
+    """Fig. 5(a): the shared-clock race makes delay proportional to width."""
+    d4 = SplitterTree2D(4, 8).critical_path_delay_ps(rsfq)
+    d16 = SplitterTree2D(16, 8).critical_path_delay_ps(rsfq)
+    d64 = SplitterTree2D(64, 8).critical_path_delay_ps(rsfq)
+    assert d16 / d4 == pytest.approx(4.0, rel=0.1)
+    assert d64 / d16 == pytest.approx(4.0, rel=0.1)
+
+
+def test_2d_tree_exceeds_800ps_at_width_64(rsfq):
+    """Fig. 5(a): 'reaches above 800 ps in 64x64 PE array'."""
+    assert SplitterTree2D(64, 8).critical_path_delay_ps(rsfq) > 800.0
+
+
+def test_systolic_delay_independent_of_width(rsfq):
+    d4 = SystolicChain(4, 8).critical_path_delay_ps(rsfq)
+    d64 = SystolicChain(64, 8).critical_path_delay_ps(rsfq)
+    assert d4 == d64
+
+
+def test_tree_areas_comparable(rsfq):
+    """Section III-A: the 1D tree's area is 'high as the same' as the 2D."""
+    a1 = SplitterTree1D(64, 8).area_mm2(rsfq)
+    a2 = SplitterTree2D(64, 8).area_mm2(rsfq)
+    assert 0.5 <= a2 / a1 <= 2.0
+
+
+def test_area_scales_with_bits(rsfq):
+    narrow = SystolicChain(16, 4).area_mm2(rsfq)
+    wide = SystolicChain(16, 8).area_mm2(rsfq)
+    assert wide == pytest.approx(2 * narrow)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        SystolicChain(0, 8)
+    with pytest.raises(ValueError):
+        SystolicChain(4, 0)
+
+
+def test_1d_tree_slower_than_systolic_but_far_below_2d(rsfq):
+    d1 = SplitterTree1D(64, 8).critical_path_delay_ps(rsfq)
+    dsys = SystolicChain(64, 8).critical_path_delay_ps(rsfq)
+    d2 = SplitterTree2D(64, 8).critical_path_delay_ps(rsfq)
+    assert dsys <= d1 < 0.1 * d2

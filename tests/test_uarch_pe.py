@@ -1,0 +1,49 @@
+"""Processing-element structure tests."""
+
+import pytest
+
+from repro.device import cells
+from repro.uarch.pe import ProcessingElement
+
+
+def test_pipeline_depth_matches_mac():
+    pe = ProcessingElement(bits=8, psum_bits=24)
+    assert pe.pipeline_stages == 15
+
+
+def test_weight_registers_use_ndro():
+    one = ProcessingElement(registers=1).gate_counts()
+    eight = ProcessingElement(registers=8).gate_counts()
+    assert one[cells.NDRO] == 8
+    assert eight[cells.NDRO] == 64
+
+
+def test_multi_register_pe_adds_select_ring():
+    one = ProcessingElement(registers=1).gate_counts()
+    eight = ProcessingElement(registers=8).gate_counts()
+    assert one[cells.TFF] == 0
+    assert eight[cells.TFF] == 8
+
+
+def test_systolic_latches_present():
+    counts = ProcessingElement(bits=8, psum_bits=24).gate_counts()
+    # Ifmap (8) + psum (24) forwarding DFFs on top of the MAC's internal ones.
+    mac_dffs = ProcessingElement(bits=8, psum_bits=24).mac.gate_counts()[cells.DFF]
+    assert counts[cells.DFF] == mac_dffs + 32
+
+
+def test_registers_add_area_not_speed(rsfq):
+    lean = ProcessingElement(registers=1)
+    fat = ProcessingElement(registers=8)
+    assert fat.area_mm2(rsfq) > lean.area_mm2(rsfq)
+    assert fat.frequency(rsfq).frequency_ghz == lean.frequency(rsfq).frequency_ghz
+
+
+def test_invalid_register_count():
+    with pytest.raises(ValueError):
+        ProcessingElement(registers=0)
+
+
+def test_pe_frequency_bounded_by_mac(rsfq):
+    pe = ProcessingElement()
+    assert pe.frequency(rsfq).frequency_ghz <= pe.mac.frequency(rsfq).frequency_ghz

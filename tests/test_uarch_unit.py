@@ -1,0 +1,96 @@
+"""GateCounts algebra and clock-tree augmentation tests."""
+
+import math
+
+import pytest
+
+from repro.device import cells
+from repro.timing.frequency import GatePair
+from repro.uarch.unit import GateCounts, Unit
+
+
+def test_gatecounts_add_and_get():
+    counts = GateCounts().add(cells.AND, 3).add(cells.AND, 2).add(cells.DFF, 1)
+    assert counts[cells.AND] == 5
+    assert counts[cells.DFF] == 1
+    assert counts["missing"] == 0
+
+
+def test_gatecounts_merge_with_multiplier():
+    a = GateCounts({cells.AND: 2})
+    b = GateCounts({cells.AND: 1, cells.XOR: 3})
+    a.merge(b, times=4)
+    assert a[cells.AND] == 6
+    assert a[cells.XOR] == 12
+
+
+def test_gatecounts_scaled_returns_new_object():
+    a = GateCounts({cells.DFF: 2})
+    b = a.scaled(3)
+    assert b[cells.DFF] == 6
+    assert a[cells.DFF] == 2
+
+
+def test_gatecounts_total():
+    assert GateCounts({cells.AND: 2, cells.DFF: 3}).total() == 5
+
+
+def test_gatecounts_equality_and_repr():
+    assert GateCounts({cells.AND: 1}) == GateCounts({cells.AND: 1})
+    assert GateCounts({cells.AND: 1}) != GateCounts({cells.AND: 2})
+    assert "AND=1" in repr(GateCounts({cells.AND: 1}))
+
+
+def test_gatecounts_rejects_negative():
+    with pytest.raises(ValueError):
+        GateCounts({cells.AND: -1})
+    with pytest.raises(ValueError):
+        GateCounts().add(cells.AND, -2)
+    with pytest.raises(ValueError):
+        GateCounts({cells.AND: 1}).scaled(-1)
+
+
+class _FakeUnit(Unit):
+    kind = "fake"
+
+    def __init__(self, counts):
+        self._counts = counts
+
+    def gate_counts(self):
+        return GateCounts(self._counts)
+
+    def gate_pairs(self):
+        return [GatePair(cells.DFF, cells.DFF)]
+
+
+def test_clock_tree_adds_splitter_per_clocked_gate():
+    unit = _FakeUnit({cells.AND: 10, cells.JTL: 5})
+    full = unit.full_gate_counts()
+    # 10 clocked AND gates -> 10 clock splitters; JTLs are unclocked.
+    assert full[cells.SPLITTER] == 10
+    assert full[cells.AND] == 10
+    assert full[cells.JTL] == 5
+
+
+def test_clock_tree_exempts_srcell():
+    unit = _FakeUnit({cells.SRCELL: 100})
+    assert unit.full_gate_counts()[cells.SPLITTER] == 0
+
+
+def test_derived_metrics_use_full_counts(rsfq):
+    bare = _FakeUnit({cells.AND: 10})
+    expected = (10 * 3.6 + 10 * 1.0) * 1e-6  # AND + clock splitters
+    assert math.isclose(bare.static_power_w(rsfq), expected)
+
+
+def test_area_and_jj_count_consistent(rsfq):
+    unit = _FakeUnit({cells.AND: 4})
+    jj = unit.jj_count(rsfq)
+    assert math.isclose(unit.area_mm2(rsfq), jj * rsfq.process.jj_area_um2 * 1e-6)
+
+
+def test_base_class_is_abstract(rsfq):
+    with pytest.raises(NotImplementedError):
+        Unit().gate_counts()
+    with pytest.raises(NotImplementedError):
+        Unit().gate_pairs()

@@ -1,0 +1,69 @@
+"""Extra-workload tests (applicability beyond the paper's six CNNs)."""
+
+import pytest
+
+from repro.workloads.extra import (
+    bert_base_block,
+    matmul_layer,
+    resnet18,
+    transformer_block,
+    vgg19,
+)
+
+
+def test_matmul_layer_mac_count():
+    layer = matmul_layer("mm", m=384, k=768, n=768)
+    assert layer.macs_per_image == 384 * 768 * 768
+    assert layer.output_pixels == 384
+    assert layer.weight_bytes == 768 * 768
+
+
+def test_resnet18_totals():
+    net = resnet18()
+    # Published: ~1.8 GMACs, ~11.7 M parameters.
+    assert net.total_macs == pytest.approx(1.8e9, rel=0.05)
+    assert net.total_weight_bytes == pytest.approx(11.7e6, rel=0.05)
+
+
+def test_vgg19_totals():
+    net = vgg19()
+    assert net.total_macs == pytest.approx(19.6e9, rel=0.02)
+    assert len(net.conv_layers) == 16
+
+
+def test_bert_block_totals():
+    net = bert_base_block()
+    # Per-encoder-block forward MACs at seq 384: ~3.2 G (QKV + attention +
+    # output projection + FFN).
+    assert net.total_macs == pytest.approx(3.1e9, rel=0.1)
+    assert any(layer.name.startswith("scores") for layer in net.layers)
+
+
+def test_transformer_block_head_geometry():
+    net = transformer_block(seq_len=128, hidden=256, heads=4)
+    scores = [l for l in net.layers if l.name.startswith("scores")]
+    assert len(scores) == 4
+    assert scores[0].in_channels == 64  # head_dim
+    assert scores[0].out_channels == 128  # seq_len
+    with pytest.raises(ValueError):
+        transformer_block(hidden=100, heads=3)
+
+
+def test_transformer_runs_on_supernpu():
+    """The applicability claim: matmul workloads simulate end to end."""
+    from repro.baselines.scalesim import TPU_CORE, simulate_cmos
+    from repro.core.designs import supernpu
+    from repro.simulator.engine import simulate
+
+    net = bert_base_block()
+    sfq = simulate(supernpu(), net, batch=1)
+    tpu = simulate_cmos(TPU_CORE, net, batch=1)
+    assert sfq.mac_per_s > 3 * tpu.mac_per_s
+    assert sfq.total_macs == net.total_macs
+
+
+def test_extra_networks_have_plausible_shapes():
+    for net in (resnet18(), vgg19()):
+        for layer in net.layers:
+            assert layer.out_height >= 1
+            assert layer.macs_per_image > 0

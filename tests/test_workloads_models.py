@@ -1,0 +1,105 @@
+"""Benchmark-network definition tests against published totals."""
+
+import pytest
+
+from repro.workloads.models import (
+    WORKLOAD_NAMES,
+    all_workloads,
+    alexnet,
+    by_name,
+    faster_rcnn,
+    googlenet,
+    mobilenet,
+    resnet50,
+    vgg16,
+)
+
+
+def test_workload_roster():
+    networks = all_workloads()
+    assert [n.name for n in networks] == list(WORKLOAD_NAMES)
+
+
+def test_by_name_is_case_insensitive():
+    assert by_name("ResNet50").name == "ResNet50"
+    assert by_name("resnet50").name == "ResNet50"
+    assert by_name("faster-rcnn").name == "FasterRCNN"
+    with pytest.raises(KeyError):
+        by_name("lenet")
+
+
+def test_alexnet_totals():
+    net = alexnet()
+    assert len(net.layers) == 8
+    # ~1.07 GMACs of convolution + ~58.6 M of FC.
+    conv_macs = sum(l.macs_per_image for l in net.conv_layers)
+    assert 1.0e9 <= conv_macs <= 1.2e9
+    assert 58e6 <= net.total_macs - conv_macs <= 60e6
+
+
+def test_vgg16_totals():
+    net = vgg16()
+    assert len(net.conv_layers) == 13
+    assert net.total_macs == pytest.approx(15.47e9, rel=0.01)
+    assert net.total_weight_bytes == pytest.approx(138.3e6, rel=0.01)
+
+
+def test_resnet50_totals():
+    net = resnet50()
+    assert net.total_macs == pytest.approx(4.1e9, rel=0.03)
+    assert net.total_weight_bytes == pytest.approx(25.5e6, rel=0.03)
+
+
+def test_googlenet_totals():
+    net = googlenet()
+    assert net.total_macs == pytest.approx(1.58e9, rel=0.05)
+    assert net.total_weight_bytes < 8e6  # famously compact
+
+
+def test_mobilenet_totals():
+    net = mobilenet()
+    assert net.total_macs == pytest.approx(0.569e9, rel=0.02)
+    depthwise = [l for l in net.layers if l.is_depthwise]
+    assert len(depthwise) == 13
+
+
+def test_faster_rcnn_contains_vgg_backbone():
+    rcnn = faster_rcnn()
+    backbone = [l.name for l in rcnn.layers[:13]]
+    assert backbone == [l.name for l in vgg16().layers[:13]]
+    assert any(l.name.startswith("rpn") for l in rcnn.layers)
+
+
+def test_layer_spatial_sizes_plausible():
+    """Every layer's spatial size must be one of the sizes the standard
+    224/227 pipelines produce — catches typos in the hand-written tables.
+    (Branching topologies preclude strict predecessor chaining.)"""
+    plausible = {227, 224, 112, 56, 55, 28, 27, 14, 13, 7, 6, 1}
+    for net in all_workloads():
+        for layer in net.layers:
+            assert layer.in_height in plausible, (net.name, layer.name)
+            assert layer.out_height in plausible, (net.name, layer.name)
+
+
+def test_mobilenet_depthwise_pointwise_alternation():
+    net = mobilenet()
+    body = net.layers[1:-1]
+    for dw, pw in zip(body[0::2], body[1::2]):
+        assert dw.is_depthwise
+        assert pw.kernel_height == 1 and pw.groups == 1
+        assert pw.in_channels == dw.out_channels
+
+
+def test_max_layer_footprint_vgg_matches_paper_batch_rule():
+    """VGG's largest layer is conv1_2 (~6.1 MiB in+out), giving the TPU a
+    Table II batch of 3 in 24 MB."""
+    net = vgg16()
+    assert net.max_layer_footprint_bytes == pytest.approx(6.125 * 2**20, rel=0.01)
+    assert (24 * 2**20) // net.max_layer_footprint_bytes == 3
+
+
+def test_network_requires_layers():
+    from repro.workloads.models import Network
+
+    with pytest.raises(ValueError):
+        Network("empty", tuple())

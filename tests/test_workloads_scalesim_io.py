@@ -1,0 +1,78 @@
+"""SCALE-SIM topology CSV interop tests."""
+
+import pytest
+
+from repro.workloads.models import alexnet, all_workloads, vgg16
+from repro.workloads.scalesim_io import dump_topology, load_topology, round_trip
+
+SAMPLE = """Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+Conv1, 227, 227, 11, 11, 3, 96, 4,
+Conv2, 27, 27, 5, 5, 96, 256, 1,
+FC, 1, 1, 1, 1, 4096, 1000, 1,
+"""
+
+
+def test_load_sample_topology():
+    network = load_topology(SAMPLE, name="sample")
+    assert network.name == "sample"
+    assert len(network.layers) == 3
+    conv1 = network.layers[0]
+    assert conv1.in_height == 227 and conv1.kernel_height == 11
+    assert conv1.stride == 4 and conv1.padding == 0  # strided: no inference
+    conv2 = network.layers[1]
+    assert conv2.padding == 2  # stride-1 odd kernel -> same padding inferred
+
+
+def test_padding_inference_can_be_disabled():
+    network = load_topology(SAMPLE, infer_same_padding=False)
+    assert network.layers[1].padding == 0
+
+
+def test_fc_row_is_fully_connected():
+    network = load_topology(SAMPLE)
+    assert network.layers[2].is_fully_connected
+
+
+def test_dump_contains_header_and_rows():
+    text = dump_topology(vgg16())
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("Layer name")
+    assert len(lines) == 1 + len(vgg16().layers)
+    assert "conv1_1, 224, 224, 3, 3, 3, 64, 1," in text
+
+
+def test_round_trip_preserves_macs():
+    """Same-padded stride-1 networks round-trip exactly."""
+    original = vgg16()
+    restored = round_trip(original)
+    assert restored.total_macs == original.total_macs
+    assert restored.total_weight_bytes == original.total_weight_bytes
+
+
+def test_round_trip_all_workloads_weight_exact():
+    """Weight volumes never depend on padding, so they always round-trip."""
+    for network in all_workloads():
+        if any(layer.groups > 1 for layer in network.layers):
+            continue  # SCALE-SIM CSVs carry no groups column
+        restored = round_trip(network)
+        assert restored.total_weight_bytes == network.total_weight_bytes
+
+
+def test_alexnet_round_trip_geometry():
+    restored = round_trip(alexnet())
+    assert [l.out_height for l in restored.layers] == [
+        l.out_height for l in alexnet().layers
+    ]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",  # empty
+        "Conv1, 227, 227, 11, 11, 3, 96\n",  # too few columns
+        "Conv1, a, 227, 11, 11, 3, 96, 4,\n",  # non-integer
+    ],
+)
+def test_malformed_topologies_rejected(bad):
+    with pytest.raises(ValueError):
+        load_topology(bad)

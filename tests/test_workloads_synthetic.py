@@ -1,0 +1,50 @@
+"""Synthetic workload generator tests + fuzzing the simulator with them."""
+
+import pytest
+
+from repro.core.designs import supernpu
+from repro.simulator.engine import simulate
+from repro.workloads.synthetic import synthetic_conv_net, synthetic_suite
+
+
+def test_deterministic_in_seed():
+    a = synthetic_conv_net(42)
+    b = synthetic_conv_net(42)
+    assert a.layers == b.layers
+    assert a.name == "synthetic-42"
+
+
+def test_different_seeds_differ():
+    nets = synthetic_suite(8, seed=100)
+    signatures = {tuple(l.name for l in n.layers) + (n.total_macs,) for n in nets}
+    assert len(signatures) > 1
+
+
+def test_generated_networks_are_valid():
+    for net in synthetic_suite(10, seed=7):
+        assert net.layers[-1].is_fully_connected
+        for layer in net.layers:
+            assert layer.macs_per_image > 0
+            assert layer.out_height >= 1
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_simulator_digests_synthetic_networks(rsfq, seed):
+    """Fuzz the engine: any generated network must simulate cleanly."""
+    net = synthetic_conv_net(seed)
+    run = simulate(supernpu(), net, batch=2, library=rsfq)
+    assert run.total_macs == 2 * net.total_macs
+    assert run.total_cycles > 0
+    breakdown = run.cycle_breakdown()
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        synthetic_conv_net(0, num_layers=1)
+    with pytest.raises(ValueError):
+        synthetic_conv_net(0, max_channels=2)
+    with pytest.raises(ValueError):
+        synthetic_conv_net(0, input_size=4)
+    with pytest.raises(ValueError):
+        synthetic_suite(0)
