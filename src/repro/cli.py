@@ -4,21 +4,78 @@ Commands mirror the paper's experiments:
 
 * ``estimate <design>``  — frequency / power / area of a design point
 * ``simulate <design> <workload>`` — cycle-level run (perf + power)
+* ``profile <design> <workload>`` — the same run under full observability
 * ``evaluate``           — the Fig. 23 speedup table
 * ``validate``           — the Fig. 13 model validation
 * ``sweep <which>``      — Figs. 20/21/22 design-space sweeps
 * ``table1|table2|table3`` — the evaluation-setup and power tables
+
+``simulate``, ``evaluate`` and ``sweep`` accept ``--trace-out FILE``
+(Chrome trace-event JSON, loadable in Perfetto) and ``--metrics-out
+FILE`` (metrics snapshot + run manifest); either flag switches the
+``repro.obs`` instrumentation on for that run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Iterable, List, Sequence
+import time
+from typing import Iterable, List, Optional, Sequence
 
 
 def _fmt_row(cells: Iterable[object], widths: Sequence[int]) -> str:
     return "  ".join(f"{str(c):>{w}s}" for c, w in zip(cells, widths))
+
+
+class _ObsSession:
+    """Per-command observability lifecycle driven by the CLI flags.
+
+    Enables ``repro.obs`` when ``--trace-out`` / ``--metrics-out`` was
+    passed (or unconditionally for ``profile``), and on :meth:`finish`
+    stamps a run manifest, writes the requested files, and disables +
+    resets the global registry/tracer so in-process callers (tests) see
+    no leakage between commands.
+    """
+
+    def __init__(self, args: argparse.Namespace, command: str, force: bool = False):
+        self.command = command
+        self.trace_out: Optional[str] = getattr(args, "trace_out", None)
+        self.metrics_out: Optional[str] = getattr(args, "metrics_out", None)
+        self.active = force or bool(self.trace_out or self.metrics_out)
+        self._start = time.perf_counter()
+        if self.active:
+            from repro import obs
+
+            obs.reset()
+            obs.enable()
+
+    def finish(self, config=None, network=None, batch=None, technology=None,
+               keep_enabled: bool = False, **extra):
+        """Write the requested outputs; returns the manifest (or None)."""
+        if not self.active:
+            return None
+        from repro import obs
+
+        manifest = obs.RunManifest.capture(
+            self.command,
+            config=config,
+            workload=network,
+            batch=batch,
+            technology=technology,
+            wall_time_s=time.perf_counter() - self._start,
+            **extra,
+        )
+        if self.metrics_out:
+            obs.write_metrics(self.metrics_out, manifest=manifest)
+            print(f"metrics written to {self.metrics_out}")
+        if self.trace_out:
+            obs.write_trace(self.trace_out, manifest=manifest)
+            print(f"trace written to {self.trace_out}")
+        if not keep_enabled:
+            obs.disable()
+            obs.reset()
+        return manifest
 
 
 def _resolve_design(args: argparse.Namespace):
@@ -64,6 +121,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     config = _resolve_design(args)
     network = by_name(args.workload)
+    session = _ObsSession(args, "simulate")
     library = library_for(Technology(args.technology))
     estimate = estimate_npu(config, library)
     batch = args.batch or batch_for(config, network)
@@ -83,12 +141,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     print(f"  chip power  : {power.total_w:.2f} W "
           f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
+    session.finish(config=config, network=network, batch=batch,
+                   technology=args.technology)
     return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.core.evaluate import evaluate_suite
 
+    session = _ObsSession(args, "evaluate")
     suite = evaluate_suite()
     speedups = suite.speedups()
     workloads = list(suite.tpu_runs) + ["Average"]
@@ -96,6 +157,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(_fmt_row(["design (vs TPU)"] + workloads, widths))
     for design, row in speedups.items():
         print(_fmt_row([design] + [f"{row[w]:.2f}x" for w in workloads], widths))
+    session.finish(suite="fig23")
     return 0
 
 
@@ -129,6 +191,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.optimizer import buffer_sweep, register_sweep, resource_sweep
 
+    session = _ObsSession(args, "sweep")
     if args.plot:
         from repro.core.plotting import sweep_chart
 
@@ -140,6 +203,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             for width, rows in register_sweep().items():
                 print(f"width {width}:")
                 print(sweep_chart(rows, "speedup"))
+        session.finish(which=args.which, plot=True)
         return 0
 
     if args.which == "buffers":
@@ -161,6 +225,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for width, rows in register_sweep().items():
             for point in rows:
                 print(f"{point.label:22s} speedup={point.metrics['speedup']:7.2f}x")
+    session.finish(which=args.which)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """One ``simulate`` run under full observability: span tree + metrics."""
+    from repro import obs
+    from repro.core.batching import batch_for
+    from repro.device.cells import Technology, library_for
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.engine import simulate
+    from repro.workloads.models import by_name
+
+    config = _resolve_design(args)
+    network = by_name(args.workload)
+    session = _ObsSession(args, "profile", force=True)
+    library = library_for(Technology(args.technology))
+    estimate = estimate_npu(config, library)
+    batch = args.batch or batch_for(config, network)
+    run = simulate(config, network, batch=batch, estimate=estimate)
+
+    print(f"profile: {config.name} running {network.name} "
+          f"(batch {batch}, {run.total_cycles:,} cycles)")
+    print()
+    print(obs.tracer().summary_table())
+    snapshot = obs.metrics().snapshot()
+    print()
+    print("counters:")
+    for name, value in snapshot["counters"].items():
+        print(f"  {name:32s} {value:>16,}")
+    print("timers:")
+    for name, summary in snapshot["histograms"].items():
+        print(f"  {name:32s} count={summary['count']:<6d} "
+              f"mean={summary['mean']:.6f} total={summary['sum']:.6f}")
+    manifest = session.finish(config=config, network=network, batch=batch,
+                              technology=args.technology)
+    print()
+    print("manifest:")
+    print(manifest.describe())
     return 0
 
 
@@ -391,6 +494,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of this run "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write this run's metrics snapshot + manifest as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="supernpu",
@@ -410,7 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--batch", type=int, default=None)
     p_sim.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
     p_sim.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    _add_obs_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="simulate one workload under full observability "
+             "(span tree, counters, run manifest)",
+    )
+    p_prof.add_argument("design", nargs="?", default="supernpu")
+    p_prof.add_argument("workload")
+    p_prof.add_argument("--batch", type=int, default=None)
+    p_prof.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
+    p_prof.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    _add_obs_flags(p_prof)
+    p_prof.set_defaults(func=cmd_profile)
 
     p_floor = sub.add_parser("floorplan", help="block placement and interfaces")
     p_floor.add_argument("design", nargs="?", default="supernpu")
@@ -422,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_energy.set_defaults(func=cmd_energy)
 
     p_eval = sub.add_parser("evaluate", help="full Fig. 23 speedup comparison")
+    _add_obs_flags(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_val = sub.add_parser("validate", help="Fig. 13 model validation")
@@ -431,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("which", choices=["buffers", "resources", "registers"])
     p_sweep.add_argument("--plot", action="store_true",
                          help="render the sweep as an ASCII chart")
+    _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_table = sub.add_parser("table", help="print Table I / II / III")

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.batching import derived_batch
 from repro.core.optimizer import resource_config
 from repro.device.cells import CellLibrary, Technology, library_for
@@ -76,11 +77,17 @@ def search(
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
 
+    points = [
+        (width, division, regs)
+        for width in widths
+        for division in divisions
+        for regs in registers
+    ]
     candidates: List[Candidate] = []
-    for width in widths:
-        for division in divisions:
-            for regs in registers:
-                config = _candidate_config(width, division, regs, library)
+    with obs.trace_span("search", points=len(points)):
+        for done, (width, division, regs) in enumerate(points):
+            config = _candidate_config(width, division, regs, library)
+            with obs.trace_span("search/candidate", design=config.name):
                 estimate = estimate_npu(config, library)
                 area = estimate.area_mm2_scaled()
                 total = 0.0
@@ -96,6 +103,8 @@ def search(
                         peak_tmacs=estimate.peak_tmacs,
                     )
                 )
+            obs.counter("search.candidates_evaluated").inc()
+            obs.gauge("search.progress").set((done + 1) / len(points))
     feasible = [c for c in candidates if c.area_mm2_28nm <= area_budget_mm2]
     feasible.sort(key=lambda c: c.mean_mac_per_s, reverse=True)
     return feasible

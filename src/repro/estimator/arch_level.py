@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro import obs
 from repro.device import cells
 from repro.device.cells import CellLibrary
 from repro.device.process import CMOS_28NM_UM
@@ -184,35 +185,43 @@ def estimate_npu(
     interface_distance_mm: float = INTERFACE_DISTANCE_MM,
 ) -> NPUEstimate:
     """Run the full three-layer estimation for one NPU design point."""
-    units = build_units(config)
-    estimates = {name: estimate_unit(unit, library, name) for name, unit in units.items()}
+    with obs.trace_span(
+        "estimate", design=config.name, technology=library.technology.value
+    ):
+        units = build_units(config)
+        estimates: Dict[str, UnitEstimate] = {}
+        for name, unit in units.items():
+            with obs.trace_span("estimate/unit", unit=name):
+                estimates[name] = estimate_unit(unit, library, name)
+        obs.counter("estimator.units_estimated").add(len(estimates))
 
-    # Chip clock: slowest of all intra-unit pairs and the inter-unit pairs.
-    worst_cct = 0.0
-    critical = ""
-    for name, unit in units.items():
-        try:
-            report = unit.frequency(library)
-        except ValueError:
-            continue
-        if report.cycle_time_ps > worst_cct:
-            worst_cct = report.cycle_time_ps
-            pair = report.critical_pair
-            critical = f"{name}: {pair.label or f'{pair.src}->{pair.dst}'}"
-    for pair in interface_gate_pairs(interface_distance_mm):
-        constraint = pair.resolve(library)
-        if constraint.cycle_time_ps > worst_cct:
-            worst_cct = constraint.cycle_time_ps
-            critical = pair.label
+        # Chip clock: slowest of all intra-unit pairs and the inter-unit pairs.
+        worst_cct = 0.0
+        critical = ""
+        for name, unit in units.items():
+            try:
+                report = unit.frequency(library)
+            except ValueError:
+                continue
+            if report.cycle_time_ps > worst_cct:
+                worst_cct = report.cycle_time_ps
+                pair = report.critical_pair
+                critical = f"{name}: {pair.label or f'{pair.src}->{pair.dst}'}"
+        for pair in interface_gate_pairs(interface_distance_mm):
+            constraint = pair.resolve(library)
+            if constraint.cycle_time_ps > worst_cct:
+                worst_cct = constraint.cycle_time_ps
+                critical = pair.label
 
-    wiring = _interface_wiring_counts(config, interface_distance_mm)
-    return NPUEstimate(
-        config=config,
-        technology=library.technology.value,
-        frequency_ghz=1e3 / worst_cct,
-        cycle_time_ps=worst_cct,
-        critical_path=critical,
-        units=estimates,
-        wiring_area_mm2=library.total_area_um2(wiring.as_dict()) * 1e-6,
-        wiring_static_power_w=library.static_power_w(wiring.as_dict()),
-    )
+        wiring = _interface_wiring_counts(config, interface_distance_mm)
+        obs.counter("estimator.designs_estimated").inc()
+        return NPUEstimate(
+            config=config,
+            technology=library.technology.value,
+            frequency_ghz=1e3 / worst_cct,
+            cycle_time_ps=worst_cct,
+            critical_path=critical,
+            units=estimates,
+            wiring_area_mm2=library.total_area_um2(wiring.as_dict()) * 1e-6,
+            wiring_static_power_w=library.static_power_w(wiring.as_dict()),
+        )

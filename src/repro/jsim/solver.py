@@ -10,10 +10,13 @@ junction plasma period), vectorized over nodes with numpy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+
+from repro import obs
 
 from repro.device.constants import PHI0_BAR_MV_PS as _PHIBAR
 from repro.jsim.netlist import Circuit
@@ -112,24 +115,35 @@ class TransientSolver:
         rate = np.zeros(n)
         h = self.step_ps
         steps = int(round(duration_ps / h))
-        times, phases, rates = [], [], []
-        for step in range(steps + 1):
-            t = step * h
-            if step % sample_every == 0:
-                times.append(t)
-                phases.append(theta.copy())
-                rates.append(rate.copy())
-            # RK4 on the first-order system (theta, rate).
-            k1v = self._acceleration(theta, rate, t)
-            k1x = rate
-            k2v = self._acceleration(theta + 0.5 * h * k1x, rate + 0.5 * h * k1v, t + 0.5 * h)
-            k2x = rate + 0.5 * h * k1v
-            k3v = self._acceleration(theta + 0.5 * h * k2x, rate + 0.5 * h * k2v, t + 0.5 * h)
-            k3x = rate + 0.5 * h * k2v
-            k4v = self._acceleration(theta + h * k3x, rate + h * k3v, t + h)
-            k4x = rate + h * k3v
-            theta = theta + (h / 6.0) * (k1x + 2 * k2x + 2 * k3x + k4x)
-            rate = rate + (h / 6.0) * (k1v + 2 * k2v + 2 * k3v + k4v)
+        wall_start = time.perf_counter()
+        with obs.trace_span(
+            "jsim/solver.run", duration_ps=duration_ps, nodes=n, steps=steps
+        ):
+            times, phases, rates = [], [], []
+            for step in range(steps + 1):
+                t = step * h
+                if step % sample_every == 0:
+                    times.append(t)
+                    phases.append(theta.copy())
+                    rates.append(rate.copy())
+                # RK4 on the first-order system (theta, rate).
+                k1v = self._acceleration(theta, rate, t)
+                k1x = rate
+                k2v = self._acceleration(theta + 0.5 * h * k1x, rate + 0.5 * h * k1v, t + 0.5 * h)
+                k2x = rate + 0.5 * h * k1v
+                k3v = self._acceleration(theta + 0.5 * h * k2x, rate + 0.5 * h * k2v, t + 0.5 * h)
+                k3x = rate + 0.5 * h * k2v
+                k4v = self._acceleration(theta + h * k3x, rate + h * k3v, t + h)
+                k4x = rate + h * k3v
+                theta = theta + (h / 6.0) * (k1x + 2 * k2x + 2 * k3x + k4x)
+                rate = rate + (h / 6.0) * (k1v + 2 * k2v + 2 * k3v + k4v)
+        wall_s = time.perf_counter() - wall_start
+        obs.counter("jsim.runs").inc()
+        obs.counter("jsim.steps").add(steps + 1)
+        obs.histogram("jsim.run_seconds").observe(wall_s)
+        if wall_s > 0:
+            # How many picoseconds of circuit time one wall-second buys.
+            obs.histogram("jsim.sim_ps_per_wall_s").observe(duration_ps / wall_s)
         return TransientResult(
             time_ps=np.array(times),
             phases=np.array(phases),

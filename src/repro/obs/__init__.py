@@ -1,0 +1,59 @@
+"""``repro.obs`` — observability for the simulator / estimator / jsim stack.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+* **metrics** — process-local counters / gauges / histograms-as-timers
+  (:mod:`repro.obs.metrics`), snapshot-able to a plain dict / JSON;
+* **tracing** — nested wall-time spans with Chrome trace-event export and
+  a human-readable summary tree (:mod:`repro.obs.tracing`);
+* **manifests** — provenance records (config hash, workload, batch,
+  technology, version, wall time) embedded in every exported file
+  (:mod:`repro.obs.manifest`).
+
+Everything is **off by default**: the instrumented hot paths in
+``simulator.engine``, ``jsim.solver``, ``estimator.arch_level`` and
+``core.search`` reduce to a single flag check until :func:`enable` is
+called (the CLI does this for ``supernpu profile`` and whenever
+``--trace-out`` / ``--metrics-out`` is passed).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+from repro.obs.manifest import RunManifest, config_content_hash
+from repro.obs.export import metrics_document, write_metrics, write_trace
+from repro.obs.runtime import (
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    metrics,
+    reset,
+    trace_span,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "RunManifest",
+    "config_content_hash",
+    "metrics_document",
+    "write_metrics",
+    "write_trace",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "metrics",
+    "reset",
+    "trace_span",
+    "tracer",
+]

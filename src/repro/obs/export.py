@@ -1,0 +1,57 @@
+"""File export for metrics snapshots and Chrome traces.
+
+Both writers produce self-describing JSON: the metrics file wraps the
+registry snapshot with its run manifest, and the trace file embeds the
+manifest in the Chrome trace ``metadata`` block (ignored by viewers,
+preserved for provenance).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.obs import runtime
+
+
+def metrics_document(
+    registry: Optional[MetricsRegistry] = None,
+    manifest: Optional[RunManifest] = None,
+) -> Dict[str, Any]:
+    """The canonical metrics-file payload: ``{manifest, metrics}``."""
+    registry = registry if registry is not None else runtime.metrics()
+    return {
+        "manifest": manifest.to_dict() if manifest else None,
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_metrics(
+    path: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+    manifest: Optional[RunManifest] = None,
+) -> Path:
+    """Write the metrics snapshot (+ manifest) as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = metrics_document(registry, manifest)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_trace(
+    path: Union[str, Path],
+    tracer: Optional[Tracer] = None,
+    manifest: Optional[RunManifest] = None,
+) -> Path:
+    """Write the span forest as Chrome trace-event JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tracer = tracer if tracer is not None else runtime.tracer()
+    metadata = manifest.to_dict() if manifest else None
+    path.write_text(tracer.to_chrome_trace_json(metadata=metadata, indent=2) + "\n")
+    return path

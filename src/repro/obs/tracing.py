@@ -1,0 +1,197 @@
+"""Wall-time span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records a tree of named spans (``simulate`` →
+``simulate/layer`` → ...) with wall-clock durations and free-form
+attributes.  Finished traces export two ways:
+
+* :meth:`Tracer.to_chrome_trace` — the Chrome trace-event JSON object
+  format (``{"traceEvents": [...]}`` with ``ph: "X"`` complete events),
+  loadable in Perfetto / ``chrome://tracing``;
+* :meth:`Tracer.summary_table` — a human-readable tree of aggregated
+  wall times per span path, for terminal output.
+
+Disabled (the default), ``Tracer.span()`` returns a shared no-op context
+manager, so instrumented code costs one flag check per span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+
+class _ActiveSpan:
+    """Context manager binding a :class:`Span` onto the tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.span.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self.span)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._pop(self.span)
+
+
+class _NoopSpan:
+    """Shared stand-in while tracing is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Records nested spans into a forest of wall-time trees."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        # perf_counter has an arbitrary epoch; exported timestamps are
+        # relative to the first span of the trace.
+        self._epoch: Optional[float] = None
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _ActiveSpan(self, Span(name, attrs))
+
+    def _push(self, span: Span) -> None:
+        span.start_s = time.perf_counter()
+        if self._epoch is None:
+            self._epoch = span.start_s
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        # Tolerate exception-unwound frames: pop through to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+        self._epoch = None
+
+    # -- export ---------------------------------------------------------
+    def to_chrome_trace(self, metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        Every span becomes one complete (``ph: "X"``) event with
+        microsecond ``ts``/``dur`` relative to the trace start; span
+        attributes ride in ``args``.
+        """
+        events: List[Dict[str, Any]] = []
+        epoch = self._epoch or 0.0
+
+        def emit(span: Span) -> None:
+            end = span.end_s if span.end_s is not None else time.perf_counter()
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.start_s - epoch) * 1e6,
+                    "dur": (end - span.start_s) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(span.attrs),
+                }
+            )
+            for child in span.children:
+                emit(child)
+
+        for root in self.roots:
+            emit(root)
+        trace: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+        if metadata:
+            trace["metadata"] = metadata
+        return trace
+
+    def to_chrome_trace_json(self, metadata: Optional[Dict[str, Any]] = None,
+                             indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome_trace(metadata), indent=indent)
+
+    def summary_table(self) -> str:
+        """Aggregated wall-time tree: one row per span path.
+
+        Sibling spans with the same name merge into a single row with a
+        call count, so a 53-layer ``simulate/layer`` fan-out reads as one
+        line.  Percentages are relative to the top-level total.
+        """
+        total = sum(root.duration_s for root in self.roots)
+        lines = [f"{'span':<44s} {'calls':>6s} {'wall ms':>12s} {'%':>7s}"]
+
+        def aggregate(spans: List[Span]) -> "Dict[str, List[Span]]":
+            groups: Dict[str, List[Span]] = {}
+            for span in spans:
+                groups.setdefault(span.name, []).append(span)
+            return groups
+
+        def emit(spans: List[Span], depth: int) -> None:
+            for name, group in aggregate(spans).items():
+                wall = sum(s.duration_s for s in group)
+                share = 100.0 * wall / total if total else 0.0
+                label = "  " * depth + name
+                lines.append(
+                    f"{label:<44s} {len(group):>6d} {1e3 * wall:>12.3f} {share:>6.1f}%"
+                )
+                children = [c for s in group for c in s.children]
+                if children:
+                    emit(children, depth + 1)
+
+        emit(self.roots, 0)
+        if len(lines) == 1:
+            lines.append("(no spans recorded)")
+        return "\n".join(lines)

@@ -1,5 +1,6 @@
 """Cycle-level SFQ-NPU simulator (mapping, engine, memory, power)."""
 
+from repro.simulator.datapath import Datapath, build_datapath
 from repro.simulator.mapping import LayerMapping, MappingTile, map_layer, utilization
 from repro.simulator.memory import MemoryModel
 from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
@@ -26,6 +27,8 @@ from repro.simulator.trace import (
 )
 
 __all__ = [
+    "Datapath",
+    "build_datapath",
     "LayerMapping",
     "MappingTile",
     "map_layer",

@@ -28,12 +28,14 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro import obs
 from repro.device.cells import CellLibrary
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.simulator.datapath import build_datapath
 from repro.simulator.mapping import LayerMapping, map_layer
 from repro.simulator.memory import MemoryModel
 from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
-from repro.uarch.buffers import IntegratedOutputBuffer, ShiftRegisterBuffer
+from repro.uarch.buffers import ShiftRegisterBuffer
 from repro.uarch.config import NPUConfig
 from repro.uarch.pe import ProcessingElement
 from repro.workloads.layers import ConvLayer
@@ -55,12 +57,17 @@ def _ifmap_fits(layer: ConvLayer, config: NPUConfig, batch: int) -> bool:
 
 
 def _output_fits(layer: ConvLayer, config: NPUConfig, batch: int) -> bool:
-    """Can the layer's whole (batched) output stay in the output buffer?"""
-    capacity = config.output_buffer_bytes
-    if not config.integrated_output_buffer:
-        # A separate ofmap buffer must also keep room for in-flight psums.
-        capacity = max(0, capacity)
-    return layer.ofmap_bytes * batch <= capacity
+    """Can the layer's whole (batched) output stay in the output buffer?
+
+    Psum headroom intentionally does **not** shrink the residency
+    capacity: in a non-integrated design the in-flight partial sums live
+    in the dedicated psum buffer (and pay their movement cost via
+    Fig. 16 (1)'s psum_move charge), so the full ofmap buffer is
+    available for the finished activations; in an integrated design the
+    Table I sizings already account for psums sharing the buffer.
+    Residency is therefore a plain capacity check in both cases.
+    """
+    return layer.ofmap_bytes * batch <= config.output_buffer_bytes
 
 
 def simulate_layer(
@@ -172,67 +179,53 @@ def simulate(
     """
     if batch < 1:
         raise ValueError("batch must be positive")
-    if estimate is None:
-        if library is None:
-            from repro.device.cells import rsfq_library
+    with obs.trace_span(
+        "simulate", design=config.name, network=network.name, batch=batch
+    ), obs.histogram("sim.simulate_seconds").time():
+        if estimate is None:
+            if library is None:
+                from repro.device.cells import rsfq_library
 
-            library = rsfq_library()
-        estimate = estimate_npu(config, library)
+                library = rsfq_library()
+            estimate = estimate_npu(config, library)
 
-    memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
-    ifmap_buffer = ShiftRegisterBuffer(
-        config.ifmap_buffer_bytes,
-        io_width=config.pe_array_height,
-        entry_bits=config.data_bits,
-        division=config.ifmap_division,
-    )
-    buffer_cls = (
-        IntegratedOutputBuffer if config.integrated_output_buffer else ShiftRegisterBuffer
-    )
-    output_buffer = buffer_cls(
-        config.output_buffer_bytes,
-        io_width=config.pe_array_width,
-        entry_bits=config.data_bits,
-        division=config.output_division,
-    )
-    psum_buffer = None
-    if not config.integrated_output_buffer:
-        psum_buffer = ShiftRegisterBuffer(
-            config.psum_buffer_bytes,
-            io_width=config.pe_array_width,
-            entry_bits=config.data_bits,
-            division=config.output_division,
+        memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+        datapath = build_datapath(config)
+
+        activity = ActivityTrace()
+        layers = []
+        resident = False  # the first layer's input always arrives from DRAM
+        for index, layer in enumerate(network.layers):
+            with obs.trace_span("simulate/layer", layer=layer.name) as span:
+                result, resident = simulate_layer(
+                    layer,
+                    config,
+                    batch,
+                    memory,
+                    datapath.ifmap_buffer,
+                    datapath.output_buffer,
+                    datapath.psum_buffer,
+                    datapath.pe,
+                    activity,
+                    input_resident=resident,
+                    is_last_layer=index == len(network.layers) - 1,
+                )
+                span.annotate(cycles=result.total_cycles, macs=result.macs)
+            layers.append(result)
+
+        run = SimulationResult(
+            design=config.name,
+            network=network.name,
+            batch=batch,
+            frequency_ghz=estimate.frequency_ghz,
+            layers=layers,
+            activity=activity,
         )
-    pe = ProcessingElement(
-        bits=config.data_bits,
-        psum_bits=config.psum_bits,
-        registers=config.registers_per_pe,
-    )
-
-    activity = ActivityTrace()
-    layers = []
-    resident = False  # the first layer's input always arrives from DRAM
-    for index, layer in enumerate(network.layers):
-        result, resident = simulate_layer(
-            layer,
-            config,
-            batch,
-            memory,
-            ifmap_buffer,
-            output_buffer,
-            psum_buffer,
-            pe,
-            activity,
-            input_resident=resident,
-            is_last_layer=index == len(network.layers) - 1,
+        obs.counter("sim.runs").inc()
+        obs.counter("sim.layers_simulated").add(len(layers))
+        obs.counter("sim.cycles").add(run.total_cycles)
+        obs.counter("sim.macs").add(run.total_macs)
+        obs.counter("sim.dram_traffic_bytes").add(
+            sum(layer.dram_traffic_bytes for layer in layers)
         )
-        layers.append(result)
-
-    return SimulationResult(
-        design=config.name,
-        network=network.name,
-        batch=batch,
-        frequency_ghz=estimate.frequency_ghz,
-        layers=layers,
-        activity=activity,
-    )
+        return run

@@ -12,11 +12,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.simulator.datapath import build_datapath
 from repro.simulator.mapping import map_layer
 from repro.simulator.memory import MemoryModel
-from repro.uarch.buffers import ShiftRegisterBuffer
 from repro.uarch.config import NPUConfig
-from repro.uarch.pe import ProcessingElement
 from repro.workloads.layers import ConvLayer
 
 #: Phase names in the order they occur within one mapping.
@@ -59,32 +58,15 @@ def trace_layer(
     if batch < 1:
         raise ValueError("batch must be positive")
     mapping = map_layer(layer, config)
-    ifmap_buffer = ShiftRegisterBuffer(
-        config.ifmap_buffer_bytes,
-        io_width=config.pe_array_height,
-        entry_bits=config.data_bits,
-        division=config.ifmap_division,
-    )
+    datapath = build_datapath(config)
+    ifmap_buffer = datapath.ifmap_buffer
     psum_move = 0
-    if not config.integrated_output_buffer:
-        output_buffer = ShiftRegisterBuffer(
-            config.output_buffer_bytes,
-            io_width=config.pe_array_width,
-            entry_bits=config.data_bits,
-            division=config.output_division,
+    if datapath.psum_buffer is not None:
+        psum_move = (
+            datapath.psum_buffer.chunk_length_entries
+            + datapath.output_buffer.chunk_length_entries
         )
-        psum_buffer = ShiftRegisterBuffer(
-            config.psum_buffer_bytes,
-            io_width=config.pe_array_width,
-            entry_bits=config.data_bits,
-            division=config.output_division,
-        )
-        psum_move = psum_buffer.chunk_length_entries + output_buffer.chunk_length_entries
-    pe_stages = ProcessingElement(
-        bits=config.data_bits,
-        psum_bits=config.psum_bits,
-        registers=config.registers_per_pe,
-    ).pipeline_stages
+    pe_stages = datapath.pe.pipeline_stages
 
     vectors = layer.output_pixels * batch
     events: List[TraceEvent] = []
@@ -137,39 +119,14 @@ def verify_against_engine(
     """The trace's phase totals must equal the engine's cycle charges."""
     from repro.simulator.engine import simulate_layer
     from repro.simulator.results import ActivityTrace
-    from repro.uarch.buffers import IntegratedOutputBuffer
 
     estimate = estimate_npu(config, _default_library())
     memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
-    ifmap_buffer = ShiftRegisterBuffer(
-        config.ifmap_buffer_bytes,
-        io_width=config.pe_array_height,
-        entry_bits=config.data_bits,
-        division=config.ifmap_division,
-    )
-    buffer_cls = IntegratedOutputBuffer if config.integrated_output_buffer else ShiftRegisterBuffer
-    output_buffer = buffer_cls(
-        config.output_buffer_bytes,
-        io_width=config.pe_array_width,
-        entry_bits=config.data_bits,
-        division=config.output_division,
-    )
-    psum_buffer = None
-    if not config.integrated_output_buffer:
-        psum_buffer = ShiftRegisterBuffer(
-            config.psum_buffer_bytes,
-            io_width=config.pe_array_width,
-            entry_bits=config.data_bits,
-            division=config.output_division,
-        )
-    pe = ProcessingElement(
-        bits=config.data_bits,
-        psum_bits=config.psum_bits,
-        registers=config.registers_per_pe,
-    )
+    datapath = build_datapath(config)
     result, _ = simulate_layer(
-        layer, config, batch, memory, ifmap_buffer, output_buffer, psum_buffer,
-        pe, ActivityTrace(), input_resident=True, is_last_layer=True,
+        layer, config, batch, memory, datapath.ifmap_buffer,
+        datapath.output_buffer, datapath.psum_buffer, datapath.pe,
+        ActivityTrace(), input_resident=True, is_last_layer=True,
     )
     summary = trace_summary(trace_layer(layer, config, batch))
     return (

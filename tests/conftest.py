@@ -10,6 +10,29 @@ from repro.workloads.layers import ConvLayer, fc_layer
 from repro.workloads.models import Network
 
 
+@pytest.fixture(autouse=True)
+def _quiescent_obs():
+    """Observability must stay off (and empty) unless a test opts in."""
+    from repro import obs
+
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def obs_enabled():
+    """Turn the global obs runtime on for one test, cleaned up after."""
+    from repro import obs
+
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
 @pytest.fixture(scope="session")
 def rsfq():
     return rsfq_library()

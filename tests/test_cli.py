@@ -141,3 +141,82 @@ def test_compare_command(capsys):
     assert main(["compare", "baseline", "supernpu", "--workloads", "mobilenet"]) == 0
     out = capsys.readouterr().out
     assert "winner (mean throughput): SuperNPU" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "supernpu", "mobilenet"]) == 0
+    out = capsys.readouterr().out
+    # Span-tree wall-time summary.
+    assert "simulate/layer" in out and "wall ms" in out
+    # Counters and the run manifest.
+    assert "sim.cycles" in out
+    assert "sha256:" in out and "SuperNPU" in out
+
+
+def test_profile_leaves_obs_disabled(capsys):
+    from repro import obs
+
+    assert main(["profile", "baseline", "alexnet", "--batch", "1"]) == 0
+    assert not obs.enabled()
+    assert obs.metrics().is_empty()
+    assert obs.tracer().roots == []
+
+
+def test_profile_writes_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["profile", "supernpu", "mobilenet",
+                 "--trace-out", str(trace_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    trace = json.loads(trace_path.read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert {"simulate", "simulate/layer", "estimate", "estimate/unit"} <= names
+    assert trace["metadata"]["workload"] == "MobileNet"
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["metrics"]["counters"]["sim.runs"] == 1
+    assert metrics["manifest"]["config_hash"]
+
+
+def test_simulate_metrics_out_flag(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "m.json"
+    assert main(["simulate", "baseline", "alexnet", "--batch", "1",
+                 "--metrics-out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"metrics written to {path}" in out
+    data = json.loads(path.read_text())
+    assert data["manifest"]["command"] == "simulate"
+    assert data["manifest"]["design"] == "Baseline"
+    assert data["metrics"]["counters"]["sim.cycles"] > 0
+
+
+def test_simulate_trace_out_flag(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "t.json"
+    assert main(["simulate", "supernpu", "alexnet", "--batch", "1",
+                 "--trace-out", str(path)]) == 0
+    data = json.loads(path.read_text())
+    layer_events = [e for e in data["traceEvents"] if e["name"] == "simulate/layer"]
+    assert layer_events and all("layer" in e["args"] for e in layer_events)
+
+
+def test_sweep_metrics_out_flag(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "sweep.json"
+    assert main(["sweep", "buffers", "--metrics-out", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["manifest"]["which"] == "buffers"
+    assert data["metrics"]["counters"]["sim.runs"] > 0
+
+
+def test_simulate_without_obs_flags_records_nothing(capsys):
+    from repro import obs
+
+    assert main(["simulate", "baseline", "alexnet", "--batch", "1"]) == 0
+    assert obs.metrics().is_empty()
+    assert obs.tracer().roots == []

@@ -1,0 +1,145 @@
+"""Metrics registry tests: instruments, snapshots, and the no-op path."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def test_counter_accumulates(registry):
+    counter = registry.counter("sim.cycles")
+    counter.inc()
+    counter.add(41)
+    assert registry.counter("sim.cycles") is counter
+    assert counter.value == 42
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_gauge_tracks_last_value(registry):
+    gauge = registry.gauge("search.progress")
+    gauge.set(0.25)
+    gauge.inc(0.25)
+    gauge.dec(0.1)
+    assert gauge.value == pytest.approx(0.4)
+
+
+def test_histogram_summary(registry):
+    histogram = registry.histogram("lat")
+    for value in (1.0, 3.0, 2.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 3
+    assert summary["min"] == 1.0
+    assert summary["max"] == 3.0
+    assert summary["mean"] == pytest.approx(2.0)
+
+
+def test_empty_histogram_summary():
+    assert Histogram("h").summary() == {
+        "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+    }
+
+
+def test_histogram_timer(registry):
+    histogram = registry.histogram("t")
+    with histogram.time():
+        pass
+    assert histogram.count == 1
+    assert histogram.sum >= 0
+
+
+def test_snapshot_shape_and_json(registry):
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(7)
+    registry.histogram("c").observe(1.5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"a": 2}
+    assert snapshot["gauges"] == {"b": 7}
+    assert snapshot["histograms"]["c"]["count"] == 1
+    assert json.loads(registry.to_json()) == snapshot
+
+
+def test_disabled_registry_records_nothing():
+    registry = MetricsRegistry()  # disabled by default
+    registry.counter("x").inc(100)
+    registry.gauge("y").set(5)
+    registry.histogram("z").observe(1.0)
+    with registry.histogram("z").time():
+        pass
+    assert registry.is_empty()
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_disabled_accessors_return_shared_noop():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.histogram("b")
+
+
+def test_reset_clears_but_keeps_enabled(registry):
+    registry.counter("a").inc()
+    registry.reset()
+    assert registry.is_empty()
+    assert registry.enabled
+    registry.counter("a").inc()
+    assert registry.snapshot()["counters"] == {"a": 1}
+
+
+def test_global_runtime_disabled_by_default_in_simulate(baseline_config, tiny_network):
+    """The acceptance check: with obs off, simulate() records nothing."""
+    from repro import obs
+    from repro.simulator.engine import simulate
+
+    assert not obs.enabled()
+    simulate(baseline_config, tiny_network, batch=1)
+    assert obs.metrics().is_empty()
+    assert obs.tracer().roots == []
+
+
+def test_global_runtime_enabled_records_simulation(obs_enabled, supernpu_config,
+                                                   tiny_network):
+    from repro.simulator.engine import simulate
+
+    run = simulate(supernpu_config, tiny_network, batch=2)
+    snapshot = obs_enabled.metrics().snapshot()
+    assert snapshot["counters"]["sim.runs"] == 1
+    assert snapshot["counters"]["sim.layers_simulated"] == len(tiny_network.layers)
+    assert snapshot["counters"]["sim.cycles"] == run.total_cycles
+    assert snapshot["counters"]["sim.macs"] == run.total_macs
+    assert snapshot["histograms"]["sim.simulate_seconds"]["count"] == 1
+
+
+def test_search_counters_and_progress(obs_enabled, tiny_network):
+    from repro.core.search import search
+
+    search(widths=(256,), divisions=(1,), registers=(1, 2),
+           workloads=[tiny_network])
+    snapshot = obs_enabled.metrics().snapshot()
+    assert snapshot["counters"]["search.candidates_evaluated"] == 2
+    assert snapshot["gauges"]["search.progress"] == 1.0
+
+
+def test_jsim_solver_counters(obs_enabled):
+    from repro.jsim.elements import JosephsonJunction
+    from repro.jsim.netlist import Circuit
+    from repro.jsim.solver import TransientSolver
+
+    circuit = Circuit()
+    node = circuit.node()
+    circuit.add_junction(JosephsonJunction(node, 0))
+    solver = TransientSolver(circuit, step_ps=0.5)
+    solver.run(duration_ps=5.0)
+    snapshot = obs_enabled.metrics().snapshot()
+    assert snapshot["counters"]["jsim.runs"] == 1
+    assert snapshot["counters"]["jsim.steps"] == 11
+    assert snapshot["histograms"]["jsim.run_seconds"]["count"] == 1
+    assert snapshot["histograms"]["jsim.sim_ps_per_wall_s"]["count"] == 1

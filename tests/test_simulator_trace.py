@@ -75,6 +75,46 @@ def test_csv_rendering(multi_mapping_layer):
     assert len(lines) == len(events) + 1
 
 
+def test_csv_round_trip(multi_mapping_layer):
+    """The CSV text parses back into the exact event list."""
+    events = trace_layer(multi_mapping_layer, baseline(), batch=1)
+    lines = trace_to_csv(events).strip().splitlines()
+    parsed = []
+    for line in lines[1:]:
+        mapping, phase, start, end, duration = line.split(",")
+        parsed.append(TraceEvent(int(mapping), phase, int(start), int(end)))
+        assert int(duration) == parsed[-1].duration
+    assert parsed == list(events)
+
+
+@pytest.mark.parametrize("config_factory", [baseline, supernpu],
+                         ids=["non-integrated", "integrated"])
+def test_summary_totals_match_engine(config_factory, multi_mapping_layer):
+    """Per-phase totals equal the engine's charges on both buffer styles."""
+    from repro.simulator.datapath import build_datapath
+    from repro.simulator.engine import simulate_layer
+    from repro.simulator.memory import MemoryModel
+    from repro.simulator.results import ActivityTrace
+    from repro.device.cells import rsfq_library
+    from repro.estimator.arch_level import estimate_npu
+
+    config = config_factory()
+    estimate = estimate_npu(config, rsfq_library())
+    memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+    datapath = build_datapath(config)
+    result, _ = simulate_layer(
+        multi_mapping_layer, config, 1, memory, datapath.ifmap_buffer,
+        datapath.output_buffer, datapath.psum_buffer, datapath.pe,
+        ActivityTrace(), input_resident=True, is_last_layer=True,
+    )
+    summary = trace_summary(trace_layer(multi_mapping_layer, config, batch=1))
+    assert summary["weight_load"] == result.weight_load_cycles
+    assert summary["ifmap_rewind"] == result.ifmap_prep_cycles
+    assert summary["compute"] == result.compute_cycles
+    assert summary["psum_move"] == result.psum_move_cycles
+    assert verify_against_engine(multi_mapping_layer, config, batch=1)
+
+
 def test_event_validation():
     with pytest.raises(ValueError):
         TraceEvent(0, "siesta", 0, 1)
