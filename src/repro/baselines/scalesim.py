@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.simulator.memory import MemoryModel
 from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult

@@ -5,15 +5,20 @@ Commands mirror the paper's experiments:
 * ``estimate <design>``  — frequency / power / area of a design point
 * ``simulate <design> <workload>`` — cycle-level run (perf + power)
 * ``profile <design> <workload>`` — the same run under full observability
+* ``bottleneck <design> <workload>`` — per-layer bound attribution,
+  critical layers, roofline, and a simulated-cycle timeline export
 * ``evaluate``           — the Fig. 23 speedup table
 * ``validate``           — the Fig. 13 model validation
 * ``sweep <which>``      — Figs. 20/21/22 design-space sweeps
 * ``table1|table2|table3`` — the evaluation-setup and power tables
 
-``simulate``, ``evaluate`` and ``sweep`` accept ``--trace-out FILE``
-(Chrome trace-event JSON, loadable in Perfetto) and ``--metrics-out
-FILE`` (metrics snapshot + run manifest); either flag switches the
-``repro.obs`` instrumentation on for that run.
+``simulate``, ``evaluate``, ``sweep``, ``compare``, ``reproduce``,
+``bottleneck`` and ``profile`` accept ``--trace-out FILE`` (Chrome
+trace-event JSON, loadable in Perfetto) and ``--metrics-out FILE``
+(metrics snapshot + run manifest); either flag switches the
+``repro.obs`` instrumentation on for that run.  ``bottleneck`` adds
+``--timeline-out FILE``: a Chrome trace whose timestamps are *simulated*
+time (cycles through the design's clock).
 """
 
 from __future__ import annotations
@@ -258,12 +263,156 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print("timers:")
     for name, summary in snapshot["histograms"].items():
         print(f"  {name:32s} count={summary['count']:<6d} "
-              f"mean={summary['mean']:.6f} total={summary['sum']:.6f}")
+              f"mean={summary['mean']:.6f} total={summary['sum']:.6f} "
+              f"p50={summary['p50']:.6f} p95={summary['p95']:.6f} "
+              f"p99={summary['p99']:.6f}")
     manifest = session.finish(config=config, network=network, batch=batch,
                               technology=args.technology)
     print()
     print("manifest:")
     print(manifest.describe())
+    return 0
+
+
+def cmd_bottleneck(args: argparse.Namespace) -> int:
+    """Per-layer bound attribution, critical layers, roofline, timeline."""
+    import json
+
+    from repro import obs
+    from repro.core.batching import batch_for
+    from repro.device.cells import Technology, library_for
+    from repro.estimator.arch_level import estimate_npu
+    from repro.simulator.attribution import (
+        attribute,
+        attribution_records,
+        roofline,
+        roofline_records,
+    )
+    from repro.simulator.engine import simulate
+    from repro.simulator.utilization import utilization_report
+    from repro.workloads.models import by_name
+
+    config = _resolve_design(args)
+    network = by_name(args.workload)
+    session = _ObsSession(args, "bottleneck")
+    library = library_for(Technology(args.technology))
+    estimate = estimate_npu(config, library)
+    batch = args.batch or batch_for(config, network)
+    timeline = obs.CycleTimeline(
+        estimate.frequency_ghz, design=config.name, network=network.name
+    )
+    run = simulate(config, network, batch=batch, estimate=estimate, timeline=timeline)
+    report = attribute(run)
+    roof = roofline(run, estimate.peak_mac_per_s, config.memory_bandwidth_gbps)
+    util = utilization_report(run)
+
+    if args.timeline_out:
+        manifest = obs.RunManifest.capture(
+            "bottleneck",
+            config=config,
+            workload=network,
+            batch=batch,
+            technology=args.technology,
+        )
+        obs.write_timeline(args.timeline_out, timeline, manifest=manifest)
+
+    if args.json:
+        document = {
+            "design": config.name,
+            "network": network.name,
+            "batch": batch,
+            "technology": args.technology,
+            "frequency_ghz": run.frequency_ghz,
+            "total_cycles": run.total_cycles,
+            "simulated_us": timeline.span_us,
+            "layers": attribution_records(report),
+            "summary": {
+                "fractions": report.summary_fractions,
+                "bound_counts": report.bound_counts,
+            },
+            "critical_layers": [
+                {
+                    "layer": layer.name,
+                    "share": share,
+                    "bound": layer.bound,
+                    "dominant_phase": layer.dominant_phase,
+                }
+                for layer, share in report.critical_layers(args.top)
+            ],
+            "roofline": {
+                "compute_roof_gops": roof.compute_roof_gops,
+                "bandwidth_gbytes_per_s": roof.bandwidth_gbytes_per_s,
+                "ridge_macs_per_byte": roof.ridge_macs_per_byte,
+                "points": roofline_records(roof),
+            },
+            "utilization": util.to_dict(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        session.finish(config=config, network=network, batch=batch,
+                       technology=args.technology)
+        return 0
+
+    print(f"bottleneck: {config.name} running {network.name} "
+          f"(batch {batch}, {run.frequency_ghz:.1f} GHz)")
+    print(f"  total cycles : {run.total_cycles:,}  "
+          f"({timeline.span_us:.2f} us simulated)")
+    print()
+    widths = [14, 14, 13, 20, 7, 7, 7]
+    print(_fmt_row(
+        ["layer", "cycles", "bound", "dominant", "prep%", "comp%", "dram%"], widths))
+    for layer in report.layers:
+        prep = sum(
+            layer.fractions[p]
+            for p in ("weight_load", "ifmap_prep", "psum_move", "activation_transfer")
+        )
+        print(_fmt_row(
+            [
+                layer.name,
+                f"{layer.total_cycles:,}",
+                layer.bound,
+                layer.dominant_phase,
+                f"{100 * prep:.1f}",
+                f"{100 * layer.fractions['compute']:.1f}",
+                f"{100 * layer.fractions['dram_stall']:.1f}",
+            ],
+            widths,
+        ))
+    print()
+    counts = report.bound_counts
+    print("attribution summary (cycle-weighted):")
+    for phase, fraction in report.summary_fractions.items():
+        print(f"  {phase:20s} {100 * fraction:6.2f} %")
+    print(f"bound layers : compute {counts['compute']} / "
+          f"preparation {counts['preparation']} / dram {counts['dram']}")
+    print(f"busiest unit : {util.busiest_unit()} "
+          f"({100 * util.per_unit[util.busiest_unit()]:.1f} % utilized)")
+    print()
+    print(f"critical layers (top {args.top} of {len(report.layers)}):")
+    for rank, (layer, share) in enumerate(report.critical_layers(args.top), start=1):
+        print(f"  {rank}. {layer.name:14s} {100 * share:5.1f}% of cycles  "
+              f"{layer.bound}-bound ({layer.dominant_phase})")
+    print()
+    print(f"roofline (compute roof {roof.compute_roof_gops:,.0f} GOPS, "
+          f"ridge {roof.ridge_macs_per_byte:.1f} MACs/byte):")
+    widths = [14, 12, 14, 16, 10]
+    print(_fmt_row(
+        ["layer", "MACs/byte", "achieved", "attainable", "limiter"], widths))
+    for point in roof.points:
+        print(_fmt_row(
+            [
+                point.name,
+                f"{point.intensity_macs_per_byte:.1f}",
+                f"{point.achieved_gops:,.0f}",
+                f"{point.attainable_gops:,.0f}",
+                point.limiter,
+            ],
+            widths,
+        ))
+    if args.timeline_out:
+        print()
+        print(f"timeline written to {args.timeline_out}")
+    session.finish(config=config, network=network, batch=batch,
+                   technology=args.technology)
     return 0
 
 
@@ -399,7 +548,7 @@ def cmd_energy(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from repro.core.compare import compare, winner
+    from repro.core.compare import compare, phase_deltas, winner
     from repro.core.config_io import load
     from repro.core.designs import design_by_name
     from repro.workloads.models import by_name
@@ -411,6 +560,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         else:
             configs.append(design_by_name(spec))
     workloads = [by_name(w) for w in args.workloads.split(",")] if args.workloads else None
+    session = _ObsSession(args, "compare")
     columns = compare(configs, workloads=workloads)
 
     workload_names = list(columns[0].throughput_tmacs)
@@ -430,6 +580,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
             widths,
         ))
     print(f"winner (mean throughput): {winner(columns).config.name}")
+    if len(columns) > 1:
+        print()
+        print(f"cycle movement vs {columns[0].config.name} "
+              "(summed over workloads; negative = fewer cycles):")
+        widths = [20] + [16] * len(columns) + [16]
+        header = (["phase"] + [c.config.name for c in columns]
+                  + [f"delta ({columns[-1].config.name})"])
+        print(_fmt_row(header, widths))
+        for row in phase_deltas(columns):
+            delta = row[f"{columns[-1].config.name}_delta"]
+            print(_fmt_row(
+                [row["phase"]]
+                + [f"{row[c.config.name]:,}" for c in columns]
+                + [f"{delta:+,}"],
+                widths,
+            ))
+    session.finish(designs=",".join(c.config.name for c in columns))
     return 0
 
 
@@ -437,6 +604,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.core.experiments import EXPERIMENTS, EXTENSIONS, reproduce_all
 
     only = args.only.split(",") if args.only else None
+    session = _ObsSession(args, "reproduce")
     results = reproduce_all(
         out_dir=args.out, only=only, include_extensions=args.extensions
     )
@@ -445,6 +613,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"  {name:28s} {marker}")
     available = len(EXPERIMENTS) + (len(EXTENSIONS) if args.extensions else 0)
     print(f"{len(results)} of {available} experiments regenerated")
+    session.finish(experiments=",".join(results))
     return 0
 
 
@@ -537,6 +706,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
+    p_bott = sub.add_parser(
+        "bottleneck",
+        help="per-layer bound attribution, critical layers, roofline, "
+             "and a simulated-cycle timeline export",
+    )
+    p_bott.add_argument("design", nargs="?", default="supernpu")
+    p_bott.add_argument("workload")
+    p_bott.add_argument("--batch", type=int, default=None)
+    p_bott.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
+    p_bott.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    p_bott.add_argument("--top", type=int, default=5,
+                        help="how many critical layers to rank (default 5)")
+    p_bott.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+    p_bott.add_argument("--timeline-out", metavar="FILE", default=None,
+                        help="write the run's simulated-cycle timeline as "
+                             "Chrome trace JSON (timestamps are simulated "
+                             "time; open in Perfetto)")
+    _add_obs_flags(p_bott)
+    p_bott.set_defaults(func=cmd_bottleneck)
+
     p_floor = sub.add_parser("floorplan", help="block placement and interfaces")
     p_floor.add_argument("design", nargs="?", default="supernpu")
     p_floor.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
@@ -579,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="named designs or .json config files")
     p_compare.add_argument("--workloads", default=None,
                            help="comma-separated workload names (default: all six)")
+    _add_obs_flags(p_compare)
     p_compare.set_defaults(func=cmd_compare)
 
     p_repro = sub.add_parser("reproduce", help="run every figure/table experiment")
@@ -587,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated experiment ids (default: all)")
     p_repro.add_argument("--extensions", action="store_true",
                          help="also run the ext_* extension studies")
+    _add_obs_flags(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 
     p_workloads = sub.add_parser("workloads", help="list the benchmark networks")

@@ -14,8 +14,8 @@ from typing import Dict, List, Optional
 from repro.core.batching import batch_for
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.estimator.arch_level import estimate_npu
+from repro.simulator.attribution import PHASE_ORDER, phase_cycle_totals
 from repro.simulator.engine import simulate
-from repro.simulator.power import power_report
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network, all_workloads
 
@@ -31,6 +31,9 @@ class ComparisonColumn:
     static_power_w: float
     throughput_tmacs: Dict[str, float] = field(default_factory=dict)
     batches: Dict[str, int] = field(default_factory=dict)
+    #: Simulated cycles per phase (weight_load, ..., dram_stall, total),
+    #: summed over all compared workloads — the attribution scorecard.
+    phase_cycles: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_tmacs(self) -> float:
@@ -68,6 +71,8 @@ def compare(
             run = simulate(config, network, batch=batch, estimate=estimate)
             column.throughput_tmacs[network.name] = run.tmacs
             column.batches[network.name] = batch
+            for phase, cycles in phase_cycle_totals(run).items():
+                column.phase_cycles[phase] = column.phase_cycles.get(phase, 0) + cycles
         columns.append(column)
     return columns
 
@@ -93,5 +98,30 @@ def comparison_records(columns: List[ComparisonColumn]) -> List[Dict[str, object
         }
         for name, value in column.throughput_tmacs.items():
             record[f"tmacs_{name}"] = value
+        for phase, cycles in column.phase_cycles.items():
+            record[f"cycles_{phase}"] = cycles
         records.append(record)
     return records
+
+
+def phase_deltas(columns: List[ComparisonColumn]) -> List[Dict[str, object]]:
+    """Where cycles moved, phase by phase, relative to the first design.
+
+    One row per phase (plus ``total``): each design's summed cycles and
+    its delta against ``columns[0]`` — a negative delta means the design
+    spends fewer cycles in that phase.  This is how A-vs-B comparisons
+    show *where* an optimization paid off, not just the totals.
+    """
+    if not columns:
+        raise ValueError("nothing to compare")
+    reference = columns[0]
+    rows: List[Dict[str, object]] = []
+    for phase in list(PHASE_ORDER) + ["total"]:
+        row: Dict[str, object] = {"phase": phase}
+        base = reference.phase_cycles.get(phase, 0)
+        for column in columns:
+            cycles = column.phase_cycles.get(phase, 0)
+            row[column.config.name] = cycles
+            row[f"{column.config.name}_delta"] = cycles - base
+        rows.append(row)
+    return rows

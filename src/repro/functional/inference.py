@@ -9,11 +9,10 @@ model prices actually computes neural networks, layer by layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
 
 import numpy as np
 
-from repro.functional.quantize import QuantParams, calibrate, dequantize, quantize
+from repro.functional.quantize import QuantParams, calibrate, quantize
 from repro.functional.reference import conv2d_reference
 from repro.functional.systolic import conv2d_systolic
 

@@ -18,8 +18,8 @@ what makes the second-order system well-posed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.device.constants import PHI0_BAR_MV_PS
 

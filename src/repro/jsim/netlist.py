@@ -6,7 +6,7 @@ hands the solver the structural matrices it needs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 import numpy as np
 

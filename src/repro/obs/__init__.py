@@ -8,7 +8,11 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
   a human-readable summary tree (:mod:`repro.obs.tracing`);
 * **manifests** — provenance records (config hash, workload, batch,
   technology, version, wall time) embedded in every exported file
-  (:mod:`repro.obs.manifest`).
+  (:mod:`repro.obs.manifest`);
+* **timeline** — simulated-cycle event timeline of the *modeled
+  hardware* (layer spans, on-chip phases, DRAM transfers, buffer
+  occupancy) with Chrome trace export in the simulated clock domain
+  (:mod:`repro.obs.timeline`).
 
 Everything is **off by default**: the instrumented hot paths in
 ``simulator.engine``, ``jsim.solver``, ``estimator.arch_level`` and
@@ -18,9 +22,10 @@ called (the CLI does this for ``supernpu profile`` and whenever
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeline import CounterSample, CycleTimeline, TimelineEvent
 from repro.obs.tracing import Span, Tracer
 from repro.obs.manifest import RunManifest, config_content_hash
-from repro.obs.export import metrics_document, write_metrics, write_trace
+from repro.obs.export import metrics_document, write_metrics, write_timeline, write_trace
 from repro.obs.runtime import (
     counter,
     disable,
@@ -36,15 +41,19 @@ from repro.obs.runtime import (
 
 __all__ = [
     "Counter",
+    "CounterSample",
+    "CycleTimeline",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TimelineEvent",
     "Tracer",
     "RunManifest",
     "config_content_hash",
     "metrics_document",
     "write_metrics",
+    "write_timeline",
     "write_trace",
     "counter",
     "disable",

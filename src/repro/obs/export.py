@@ -14,6 +14,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import CycleTimeline
 from repro.obs.tracing import Tracer
 from repro.obs import runtime
 
@@ -54,4 +55,22 @@ def write_trace(
     tracer = tracer if tracer is not None else runtime.tracer()
     metadata = manifest.to_dict() if manifest else None
     path.write_text(tracer.to_chrome_trace_json(metadata=metadata, indent=2) + "\n")
+    return path
+
+
+def write_timeline(
+    path: Union[str, Path],
+    timeline: CycleTimeline,
+    manifest: Optional[RunManifest] = None,
+) -> Path:
+    """Write a simulated-cycle timeline as Chrome trace-event JSON.
+
+    Unlike :func:`write_trace` (wall-time spans from the global tracer),
+    the timeline is an explicit per-run object whose timestamps are
+    simulated time; it needs no global enable/disable lifecycle.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    metadata = manifest.to_dict() if manifest else None
+    path.write_text(timeline.to_chrome_trace_json(metadata=metadata, indent=2) + "\n")
     return path

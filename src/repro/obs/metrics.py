@@ -52,16 +52,27 @@ class Gauge:
         self.value -= amount
 
 
-class Histogram:
-    """Streaming summary of observations (count/sum/min/max/mean).
+#: Log-spaced bucket layout shared by every histogram: 16 buckets per
+#: decade across 1e-9 .. 1e9 (plus underflow/overflow), so any positive
+#: observation lands in a bucket whose bounds are within ~±7.5% of it.
+_BUCKETS_PER_DECADE = 16
+_MIN_EXP = -9
+_MAX_EXP = 9
+_LOG_BUCKETS = (_MAX_EXP - _MIN_EXP) * _BUCKETS_PER_DECADE
 
-    Keeps scalar aggregates rather than raw samples, so unbounded call
-    counts (e.g. one observation per simulated layer) never grow memory.
-    ``time()`` returns a context manager that observes elapsed wall
-    seconds, making any histogram usable as a timer.
+
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max/mean + quantiles).
+
+    Keeps scalar aggregates plus a fixed array of log-spaced bucket
+    counts rather than raw samples, so unbounded call counts (e.g. one
+    observation per simulated layer) never grow memory while p50/p95/p99
+    stay answerable to bucket resolution (~±7.5%).  ``time()`` returns a
+    context manager that observes elapsed wall seconds, making any
+    histogram usable as a timer.
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max")
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -69,6 +80,16 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # [underflow (incl. <= 0), log buckets..., overflow]
+        self.buckets = [0] * (_LOG_BUCKETS + 2)
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        if value <= 10.0 ** _MIN_EXP:
+            return 0
+        position = (math.log10(value) - _MIN_EXP) * _BUCKETS_PER_DECADE
+        index = int(position) + 1
+        return min(index, _LOG_BUCKETS + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -77,23 +98,61 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[self._bucket_index(value)] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 <= q <= 1) from the bucket counts.
+
+        Accurate to the log-bucket resolution; always clamped into the
+        exact observed [min, max] envelope, so q=0 / q=1 are exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        cumulative = 0
+        estimate = self.max
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index == 0:
+                    estimate = self.min
+                elif index == _LOG_BUCKETS + 1:
+                    estimate = self.max
+                else:
+                    low = 10.0 ** (_MIN_EXP + (index - 1) / _BUCKETS_PER_DECADE)
+                    high = 10.0 ** (_MIN_EXP + index / _BUCKETS_PER_DECADE)
+                    estimate = math.sqrt(low * high)
+                break
+        return min(max(estimate, self.min), self.max)
 
     def time(self) -> "_HistogramTimer":
         return _HistogramTimer(self)
 
     def summary(self) -> Dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -1,0 +1,233 @@
+"""Simulated-cycle event timeline with Chrome trace export.
+
+``repro.obs.tracing`` observes the Python process in *wall time*; this
+module observes the modeled hardware in its own time domain.  A
+:class:`CycleTimeline` records events keyed in **simulated cycles** —
+per-layer spans, the on-chip phase sequence inside each layer (weight
+load, ifmap preparation, psum movement, compute, activation transfer),
+the concurrent DRAM transfer, and buffer-occupancy samples — and exports
+them as Chrome trace-event JSON whose timestamps are **simulated time**
+(cycles converted through the design's clock), so a run opens in
+Perfetto as if it were a hardware waveform.
+
+Time-domain convention: one cycle at ``frequency_ghz`` lasts
+``1000 / frequency_ghz`` picoseconds; exported ``ts``/``dur`` are in
+microseconds of *simulated* time (the trace-event unit), so the whole
+trace spans ``total_cycles / (frequency_ghz * 1e3)`` µs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: On-chip phase order inside one layer (engine charge order).
+PHASES = (
+    "weight_load",
+    "ifmap_prep",
+    "psum_move",
+    "compute",
+    "activation_transfer",
+)
+
+#: Virtual "threads" of the modeled hardware, exported as Chrome tids.
+TRACKS = {"layer": 1, "on_chip": 2, "dram": 3}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One contiguous region of simulated time on one track."""
+
+    name: str
+    track: str
+    start_cycle: int
+    duration_cycles: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.track not in TRACKS:
+            raise ValueError(f"unknown track {self.track!r}")
+        if self.start_cycle < 0 or self.duration_cycles < 0:
+            raise ValueError("event cycles must be non-negative")
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.duration_cycles
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sampled counter value (e.g. buffer occupancy) at a cycle."""
+
+    name: str
+    cycle: int
+    value: float
+
+
+class CycleTimeline:
+    """Simulated-cycle event recorder for one simulation run.
+
+    The engine appends one :meth:`record_layer` call per layer; the
+    timeline keeps a running cycle cursor (layers execute back to back)
+    and lays out each layer's on-chip phases sequentially while the
+    layer's DRAM transfer runs in parallel on its own track — exactly
+    the engine's ``max(on_chip, dram)`` double-buffered DMA model.
+    """
+
+    def __init__(
+        self,
+        frequency_ghz: float,
+        design: str = "",
+        network: str = "",
+    ) -> None:
+        if frequency_ghz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self.frequency_ghz = frequency_ghz
+        self.design = design
+        self.network = network
+        self.events: List[TimelineEvent] = []
+        self.counters: List[CounterSample] = []
+        self.cursor = 0
+
+    # -- time-domain conversions ---------------------------------------
+    @property
+    def cycle_ps(self) -> float:
+        """Duration of one simulated cycle in picoseconds."""
+        return 1e3 / self.frequency_ghz
+
+    def cycles_to_ps(self, cycles: float) -> float:
+        return cycles * self.cycle_ps
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Simulated microseconds (the Chrome trace ``ts`` unit)."""
+        return cycles / (self.frequency_ghz * 1e3)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cursor
+
+    @property
+    def span_us(self) -> float:
+        """Total simulated time covered by the timeline, in µs."""
+        return self.cycles_to_us(self.cursor)
+
+    # -- recording ------------------------------------------------------
+    def record_layer(self, result: Any, occupancy: Optional[Dict[str, float]] = None) -> None:
+        """Append one layer's phases from its ``LayerResult``.
+
+        ``occupancy`` optionally carries buffer-occupancy samples (name →
+        bytes) taken at the layer boundary, exported as counter tracks.
+        """
+        start = self.cursor
+        phase_cycles = {
+            "weight_load": result.weight_load_cycles,
+            "ifmap_prep": result.ifmap_prep_cycles,
+            "psum_move": result.psum_move_cycles,
+            "compute": result.compute_cycles,
+            "activation_transfer": result.activation_transfer_cycles,
+        }
+        if occupancy:
+            for name, value in occupancy.items():
+                self.counters.append(CounterSample(name, start, value))
+
+        cursor = start
+        for phase in PHASES:
+            cycles = phase_cycles[phase]
+            if cycles <= 0:
+                continue
+            self.events.append(
+                TimelineEvent(phase, "on_chip", cursor, cycles, {"layer": result.name})
+            )
+            cursor += cycles
+        if result.dram_cycles > 0:
+            self.events.append(
+                TimelineEvent(
+                    "dram",
+                    "dram",
+                    start,
+                    result.dram_cycles,
+                    {"layer": result.name, "bytes": result.dram_traffic_bytes},
+                )
+            )
+        self.events.append(
+            TimelineEvent(
+                result.name,
+                "layer",
+                start,
+                result.total_cycles,
+                {
+                    "macs": result.macs,
+                    "mappings": result.mappings,
+                    "on_chip_cycles": cursor - start,
+                    "dram_cycles": result.dram_cycles,
+                },
+            )
+        )
+        self.cursor = start + result.total_cycles
+
+    # -- export ---------------------------------------------------------
+    def to_chrome_trace(self, metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The timeline as a Chrome trace-event JSON object.
+
+        Every event becomes a complete (``ph: "X"``) event whose
+        ``ts``/``dur`` are **simulated** microseconds; counter samples
+        become ``ph: "C"`` events.  Track names are emitted as thread
+        metadata so Perfetto labels the lanes.
+        """
+        events: List[Dict[str, Any]] = []
+        for track, tid in TRACKS.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"sim/{track}"},
+                }
+            )
+        for event in self.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "X",
+                    "ts": self.cycles_to_us(event.start_cycle),
+                    "dur": self.cycles_to_us(event.duration_cycles),
+                    "pid": 1,
+                    "tid": TRACKS[event.track],
+                    "args": dict(event.args, cycles=event.duration_cycles),
+                }
+            )
+        for sample in self.counters:
+            events.append(
+                {
+                    "name": sample.name,
+                    "ph": "C",
+                    "ts": self.cycles_to_us(sample.cycle),
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"value": sample.value},
+                }
+            )
+        trace: Dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "time_domain": "simulated",
+                "clock_ghz": self.frequency_ghz,
+                "cycle_ps": self.cycle_ps,
+                "total_cycles": self.total_cycles,
+                "design": self.design,
+                "network": self.network,
+            },
+        }
+        if metadata:
+            trace["metadata"] = metadata
+        return trace
+
+    def to_chrome_trace_json(
+        self,
+        metadata: Optional[Dict[str, Any]] = None,
+        indent: Optional[int] = None,
+    ) -> str:
+        return json.dumps(self.to_chrome_trace(metadata), indent=indent)

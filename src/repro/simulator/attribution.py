@@ -1,0 +1,241 @@
+"""Per-layer bottleneck attribution and roofline analysis (Section V-A).
+
+The paper's core argument is a bottleneck story: 50 GHz PEs idling behind
+buffer shifts, psum movement, and DRAM.  This module turns a finished
+:class:`~repro.simulator.results.SimulationResult` into that story in
+machine-readable form:
+
+* **bound classification** — each layer is compute-, preparation-, or
+  DRAM-bound, read straight off the engine's ``max(on_chip, dram)`` rule;
+* **attribution fractions** — how the layer's total cycles split across
+  weight load / ifmap prep / psum movement / activation transfer /
+  compute / DRAM stall (the fractions partition the total exactly);
+* **critical-layer ranking** — the top-k layers by cycle share, i.e.
+  where an optimization pays;
+* **roofline points** — arithmetic intensity (MACs/byte of DRAM traffic)
+  vs achieved vs attainable GOPS under the estimator's clock and the
+  configured DRAM bandwidth (1 MAC = 2 ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.simulator.results import LayerResult, SimulationResult
+
+#: Phase keys in report order (matches ``LayerResult.phase_cycles``).
+PHASE_ORDER = (
+    "weight_load",
+    "ifmap_prep",
+    "psum_move",
+    "activation_transfer",
+    "compute",
+    "dram_stall",
+)
+
+#: The three bound labels a layer can receive.
+BOUNDS = ("compute", "preparation", "dram")
+
+#: Operations per multiply-accumulate (roofline convention).
+OPS_PER_MAC = 2
+
+
+@dataclass(frozen=True)
+class LayerAttribution:
+    """Where one layer's cycles went, and what bounds it."""
+
+    name: str
+    total_cycles: int
+    macs: int
+    fractions: Dict[str, float]
+    bound: str
+    dominant_phase: str
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer on the roofline plot."""
+
+    name: str
+    intensity_macs_per_byte: float
+    achieved_gops: float
+    attainable_gops: float
+    limiter: str  # "compute" | "bandwidth"
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    """Roofline model of one run: roofs, ridge point, per-layer points."""
+
+    design: str
+    network: str
+    compute_roof_gops: float
+    bandwidth_gbytes_per_s: float
+    ridge_macs_per_byte: float
+    points: List[RooflinePoint]
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """Whole-network bottleneck attribution of one run."""
+
+    design: str
+    network: str
+    batch: int
+    total_cycles: int
+    layers: List[LayerAttribution]
+
+    @property
+    def summary_fractions(self) -> Dict[str, float]:
+        """Cycle-weighted phase split across the whole network."""
+        if self.total_cycles <= 0:
+            return {phase: 0.0 for phase in PHASE_ORDER}
+        totals = {phase: 0.0 for phase in PHASE_ORDER}
+        for layer in self.layers:
+            for phase in PHASE_ORDER:
+                totals[phase] += layer.fractions[phase] * layer.total_cycles
+        return {phase: totals[phase] / self.total_cycles for phase in PHASE_ORDER}
+
+    @property
+    def bound_counts(self) -> Dict[str, int]:
+        counts = {bound: 0 for bound in BOUNDS}
+        for layer in self.layers:
+            counts[layer.bound] += 1
+        return counts
+
+    def critical_layers(self, k: int = 5) -> List[Tuple[LayerAttribution, float]]:
+        """Top-k layers by cycle count, each with its share of the total."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        ranked = sorted(self.layers, key=lambda la: la.total_cycles, reverse=True)
+        total = self.total_cycles or 1
+        return [(layer, layer.total_cycles / total) for layer in ranked[:k]]
+
+
+def attribute_layer(layer: LayerResult) -> LayerAttribution:
+    """Classify one layer and split its cycles into exact fractions."""
+    phases = layer.phase_cycles()
+    total = layer.total_cycles
+    if total > 0:
+        fractions = {phase: phases[phase] / total for phase in PHASE_ORDER}
+    else:
+        fractions = {phase: 0.0 for phase in PHASE_ORDER}
+    if layer.dram_bound:
+        bound = "dram"
+    elif layer.compute_cycles >= layer.preparation_cycles:
+        bound = "compute"
+    else:
+        bound = "preparation"
+    dominant = max(PHASE_ORDER, key=lambda phase: phases[phase])
+    return LayerAttribution(
+        name=layer.name,
+        total_cycles=total,
+        macs=layer.macs,
+        fractions=fractions,
+        bound=bound,
+        dominant_phase=dominant,
+    )
+
+
+def attribute(run: SimulationResult) -> AttributionReport:
+    """Per-layer bound classification + fractions for a finished run."""
+    layers = [attribute_layer(layer) for layer in run.layers]
+    return AttributionReport(
+        design=run.design,
+        network=run.network,
+        batch=run.batch,
+        total_cycles=run.total_cycles,
+        layers=layers,
+    )
+
+
+def roofline(
+    run: SimulationResult,
+    peak_mac_per_s: float,
+    memory_bandwidth_gbps: float,
+) -> RooflineReport:
+    """Roofline points of a run under the given compute and bandwidth roofs.
+
+    ``peak_mac_per_s`` comes from the estimator (clock × PE count);
+    ``memory_bandwidth_gbps`` from the design's DRAM interface.  A layer's
+    attainable throughput is ``min(compute roof, intensity × bandwidth)``.
+    """
+    if peak_mac_per_s <= 0:
+        raise ValueError("peak throughput must be positive")
+    if memory_bandwidth_gbps <= 0:
+        raise ValueError("memory bandwidth must be positive")
+    compute_roof_gops = OPS_PER_MAC * peak_mac_per_s / 1e9
+    bandwidth_bytes_per_s = memory_bandwidth_gbps * 1e9
+    ridge = peak_mac_per_s / bandwidth_bytes_per_s  # MACs/byte at the knee
+
+    points: List[RooflinePoint] = []
+    for layer in run.layers:
+        if layer.dram_traffic_bytes <= 0 or layer.total_cycles <= 0:
+            continue
+        intensity = layer.macs / layer.dram_traffic_bytes
+        seconds = layer.total_cycles / (run.frequency_ghz * 1e9)
+        achieved_gops = OPS_PER_MAC * layer.macs / seconds / 1e9
+        bandwidth_roof_gops = (
+            OPS_PER_MAC * intensity * bandwidth_bytes_per_s / 1e9
+        )
+        attainable = min(compute_roof_gops, bandwidth_roof_gops)
+        limiter = "bandwidth" if bandwidth_roof_gops < compute_roof_gops else "compute"
+        points.append(
+            RooflinePoint(
+                name=layer.name,
+                intensity_macs_per_byte=intensity,
+                achieved_gops=achieved_gops,
+                attainable_gops=attainable,
+                limiter=limiter,
+            )
+        )
+    return RooflineReport(
+        design=run.design,
+        network=run.network,
+        compute_roof_gops=compute_roof_gops,
+        bandwidth_gbytes_per_s=memory_bandwidth_gbps,
+        ridge_macs_per_byte=ridge,
+        points=points,
+    )
+
+
+def phase_cycle_totals(run: SimulationResult) -> Dict[str, int]:
+    """Whole-run cycles per phase plus ``total`` (for A-vs-B deltas)."""
+    totals = {phase: 0 for phase in PHASE_ORDER}
+    for layer in run.layers:
+        for phase, cycles in layer.phase_cycles().items():
+            totals[phase] += cycles
+    totals["total"] = run.total_cycles
+    return totals
+
+
+def attribution_records(report: AttributionReport) -> List[Dict[str, object]]:
+    """Flat per-layer dict records (JSON/CSV-ready)."""
+    records: List[Dict[str, object]] = []
+    for layer in report.layers:
+        record: Dict[str, object] = {
+            "layer": layer.name,
+            "total_cycles": layer.total_cycles,
+            "macs": layer.macs,
+            "bound": layer.bound,
+            "dominant_phase": layer.dominant_phase,
+        }
+        for phase in PHASE_ORDER:
+            record[f"frac_{phase}"] = layer.fractions[phase]
+        records.append(record)
+    return records
+
+
+def roofline_records(report: RooflineReport) -> List[Dict[str, object]]:
+    """Flat per-layer roofline records (JSON/CSV-ready)."""
+    return [
+        {
+            "layer": point.name,
+            "intensity_macs_per_byte": point.intensity_macs_per_byte,
+            "achieved_gops": point.achieved_gops,
+            "attainable_gops": point.attainable_gops,
+            "limiter": point.limiter,
+        }
+        for point in report.points
+    ]

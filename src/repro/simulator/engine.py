@@ -29,6 +29,7 @@ import math
 from typing import Optional
 
 from repro import obs
+from repro.obs.timeline import CycleTimeline
 from repro.device.cells import CellLibrary
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
 from repro.simulator.datapath import build_datapath
@@ -171,11 +172,14 @@ def simulate(
     batch: int = 1,
     estimate: Optional[NPUEstimate] = None,
     library: Optional[CellLibrary] = None,
+    timeline: Optional[CycleTimeline] = None,
 ) -> SimulationResult:
     """Run the cycle-level simulation of ``network`` on ``config``.
 
     ``estimate`` supplies the clock frequency; when omitted it is computed
-    from ``library`` (default: the calibrated RSFQ library).
+    from ``library`` (default: the calibrated RSFQ library).  ``timeline``
+    optionally receives the run's simulated-cycle event timeline (layer
+    spans, on-chip phases, DRAM transfers, buffer-occupancy samples).
     """
     if batch < 1:
         raise ValueError("batch must be positive")
@@ -211,6 +215,21 @@ def simulate(
                     is_last_layer=index == len(network.layers) - 1,
                 )
                 span.annotate(cycles=result.total_cycles, macs=result.macs)
+            if timeline is not None:
+                timeline.record_layer(
+                    result,
+                    occupancy={
+                        "ifmap_buffer_bytes": min(
+                            layer.ifmap_bytes * batch, config.ifmap_buffer_bytes
+                        ),
+                        "output_buffer_bytes": min(
+                            layer.ofmap_bytes * batch, config.output_buffer_bytes
+                        ),
+                        "weight_buffer_bytes": min(
+                            layer.weight_bytes, config.weight_buffer_bytes
+                        ),
+                    },
+                )
             layers.append(result)
 
         run = SimulationResult(

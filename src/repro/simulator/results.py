@@ -34,9 +34,35 @@ class LayerResult:
         )
 
     @property
+    def on_chip_cycles(self) -> int:
+        """Cycles the layer needs with DRAM out of the picture."""
+        return self.preparation_cycles + self.compute_cycles
+
+    @property
     def memory_stall_cycles(self) -> int:
         """Cycles added because DRAM could not keep up."""
         return max(0, self.total_cycles - self.preparation_cycles - self.compute_cycles)
+
+    @property
+    def dram_bound(self) -> bool:
+        """True when the engine's ``max(on_chip, dram)`` rule picked DRAM."""
+        return self.dram_cycles > self.on_chip_cycles
+
+    def phase_cycles(self) -> Dict[str, int]:
+        """Cycle charge per phase, plus the DRAM stall the layer absorbed.
+
+        The on-chip phases and ``dram_stall`` partition ``total_cycles``
+        exactly: the stall is whatever ``max(on_chip, dram)`` added on top
+        of the serialized on-chip work.
+        """
+        return {
+            "weight_load": self.weight_load_cycles,
+            "ifmap_prep": self.ifmap_prep_cycles,
+            "psum_move": self.psum_move_cycles,
+            "activation_transfer": self.activation_transfer_cycles,
+            "compute": self.compute_cycles,
+            "dram_stall": self.memory_stall_cycles,
+        }
 
 
 @dataclass

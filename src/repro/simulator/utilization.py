@@ -28,9 +28,21 @@ class UtilizationReport:
         return self.per_unit.get("pe_array", 0.0)
 
     def busiest_unit(self) -> str:
+        """The highest-utilization unit; ties break lexicographically, so
+        the answer is independent of activity insertion order."""
         if not self.per_unit:
             raise ValueError("no activity recorded")
-        return max(self.per_unit, key=self.per_unit.get)
+        return max(sorted(self.per_unit), key=self.per_unit.__getitem__)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (used by ``supernpu bottleneck --json``)."""
+        return {
+            "design": self.design,
+            "network": self.network,
+            "total_cycles": self.total_cycles,
+            "per_unit": dict(sorted(self.per_unit.items())),
+            "busiest_unit": self.busiest_unit(),
+        }
 
 
 def utilization_report(run: SimulationResult) -> UtilizationReport:

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.workloads.layers import ConvLayer
 from repro.workloads.models import Network
 
 

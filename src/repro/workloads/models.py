@@ -9,7 +9,7 @@ SCALE-SIM-style simulators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from repro.workloads.layers import ConvLayer, depthwise_layer, fc_layer, pooled

@@ -220,3 +220,98 @@ def test_simulate_without_obs_flags_records_nothing(capsys):
     assert main(["simulate", "baseline", "alexnet", "--batch", "1"]) == 0
     assert obs.metrics().is_empty()
     assert obs.tracer().roots == []
+
+
+def test_profile_prints_quantiles(capsys):
+    assert main(["profile", "baseline", "alexnet", "--batch", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "p50=" in out and "p95=" in out and "p99=" in out
+
+
+def test_compare_metrics_out_flag(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "compare.json"
+    assert main(["compare", "baseline", "supernpu", "--workloads", "alexnet",
+                 "--metrics-out", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["manifest"]["command"] == "compare"
+    assert data["metrics"]["counters"]["sim.runs"] >= 2
+
+
+def test_compare_shows_cycle_movement(capsys):
+    assert main(["compare", "baseline", "supernpu", "--workloads", "alexnet"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle movement vs Baseline" in out
+    assert "psum_move" in out and "dram_stall" in out
+
+
+def test_reproduce_metrics_out_flag(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "repro.json"
+    assert main(["reproduce", "--only", "fig15_cycle_breakdown",
+                 "--metrics-out", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["manifest"]["command"] == "reproduce"
+    assert data["metrics"]["counters"]["sim.runs"] > 0
+
+
+def test_bottleneck_command(capsys):
+    assert main(["bottleneck", "baseline", "alexnet", "--batch", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck: Baseline running AlexNet" in out
+    assert "attribution summary (cycle-weighted)" in out
+    assert "critical layers" in out
+    assert "roofline" in out and "MACs/byte" in out
+    assert "busiest unit" in out
+
+
+def test_bottleneck_json(capsys):
+    import json
+
+    assert main(["bottleneck", "baseline", "resnet50", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["design"] == "Baseline" and doc["network"] == "ResNet50"
+    for layer in doc["layers"]:
+        assert layer["bound"] in ("compute", "preparation", "dram")
+        fractions = sum(v for k, v in layer.items() if k.startswith("frac_"))
+        assert abs(fractions - 1.0) < 1e-6
+    assert abs(sum(doc["summary"]["fractions"].values()) - 1.0) < 1e-6
+    assert doc["roofline"]["points"]
+    assert doc["critical_layers"][0]["share"] > 0
+
+
+def test_bottleneck_timeline_out(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "timeline.json"
+    assert main(["bottleneck", "supernpu", "resnet50",
+                 "--timeline-out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"timeline written to {path}" in out
+    trace = json.loads(path.read_text())
+    events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    span_us = max(e["ts"] + e["dur"] for e in events)
+    other = trace["otherData"]
+    # Timestamps are simulated time: span == total_cycles / clock.
+    expected_us = other["total_cycles"] / (other["clock_ghz"] * 1e3)
+    assert abs(span_us - expected_us) < 1e-6 * expected_us
+    assert other["time_domain"] == "simulated"
+    assert trace["metadata"]["command"] == "bottleneck"
+    phase_names = {e["name"] for e in events}
+    assert {"compute", "weight_load", "dram"} <= phase_names
+
+
+def test_bottleneck_custom_top(capsys):
+    assert main(["bottleneck", "supernpu", "resnet50", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "critical layers (top 3" in out
+
+
+def test_bottleneck_leaves_obs_disabled():
+    from repro import obs
+
+    assert main(["bottleneck", "baseline", "alexnet", "--batch", "1"]) == 0
+    assert not obs.enabled()
+    assert obs.metrics().is_empty()

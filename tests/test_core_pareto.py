@@ -1,6 +1,5 @@
 """Pareto-frontier tests over search candidates."""
 
-import pytest
 
 from repro.core.search import Candidate, pareto_frontier, search
 from repro.core.designs import supernpu

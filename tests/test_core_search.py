@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.search import AREA_BUDGET_MM2, Candidate, best, search
+from repro.core.search import AREA_BUDGET_MM2, best, search
 from repro.workloads.models import mobilenet, resnet50
 
 

@@ -9,7 +9,6 @@ from repro.device.cells import (
     CLOCK_SELF_CONTAINED_CELLS,
     ERSFQ_ENERGY_FACTOR,
     UNCLOCKED_CELLS,
-    CellLibrary,
     Technology,
     ersfq_library,
     library_for,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.device.process import AIST_10UM, CMOS_28NM_UM, FabricationProcess
+from repro.device.process import AIST_10UM, CMOS_28NM_UM
 
 
 def test_aist_process_parameters():

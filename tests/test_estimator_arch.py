@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.estimator.arch_level import (
     INTERFACE_DISTANCE_MM,

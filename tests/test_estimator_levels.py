@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.device import cells
 from repro.estimator.gate_level import gate_table

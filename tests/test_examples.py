@@ -1,7 +1,6 @@
 """The examples must actually run (they are documentation that executes)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

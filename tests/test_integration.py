@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.baselines.scalesim import TPU_CORE, simulate_cmos
 from repro.cooling.cryocooler import PAPER_COOLER

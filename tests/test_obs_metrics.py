@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 
 @pytest.fixture
@@ -47,7 +47,61 @@ def test_histogram_summary(registry):
 def test_empty_histogram_summary():
     assert Histogram("h").summary() == {
         "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        "p50": 0.0, "p95": 0.0, "p99": 0.0,
     }
+
+
+def test_histogram_quantiles_log_buckets():
+    """p50/p95/p99 come from bounded log-spaced buckets (~±7.5% error)."""
+    histogram = Histogram("q")
+    for value in range(1, 1001):  # 1..1000, uniform
+        histogram.observe(float(value))
+    assert histogram.quantile(0.50) == pytest.approx(500.0, rel=0.10)
+    assert histogram.quantile(0.95) == pytest.approx(950.0, rel=0.10)
+    assert histogram.quantile(0.99) == pytest.approx(990.0, rel=0.10)
+    # Extremes are exact: clamped to the observed envelope.
+    assert histogram.quantile(0.0) == 1.0
+    assert histogram.quantile(1.0) == 1000.0
+    summary = histogram.summary()
+    assert summary["p50"] == histogram.quantile(0.50)
+    assert summary["p95"] == histogram.quantile(0.95)
+    assert summary["p99"] == histogram.quantile(0.99)
+
+
+def test_histogram_quantile_memory_is_bounded():
+    """Many observations grow no per-sample state."""
+    from repro.obs.metrics import _LOG_BUCKETS
+
+    histogram = Histogram("m")
+    for i in range(100_000):
+        histogram.observe(1e-7 * (1 + i % 971))
+    assert len(histogram.buckets) == _LOG_BUCKETS + 2
+    assert sum(histogram.buckets) == histogram.count == 100_000
+
+
+def test_histogram_quantile_single_value():
+    histogram = Histogram("s")
+    histogram.observe(42.0)
+    assert histogram.quantile(0.5) == pytest.approx(42.0, rel=0.10)
+    assert histogram.summary()["p99"] <= 42.0
+
+
+def test_histogram_quantile_rejects_out_of_range():
+    histogram = Histogram("r")
+    histogram.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.1)
+
+
+def test_histogram_quantile_underflow_values():
+    """Zero / negative observations clamp to the observed minimum."""
+    histogram = Histogram("u")
+    for value in (-1.0, 0.0, 2.0):
+        histogram.observe(value)
+    assert histogram.quantile(0.0) == -1.0
+    assert histogram.quantile(1.0) == 2.0
 
 
 def test_histogram_timer(registry):

@@ -1,0 +1,167 @@
+"""Simulated-cycle timeline tests (time-domain semantics + trace export)."""
+
+import json
+
+import pytest
+
+from repro.estimator.arch_level import estimate_npu
+from repro.obs.timeline import PHASES, TRACKS, CounterSample, CycleTimeline, TimelineEvent
+from repro.simulator.engine import simulate
+from repro.simulator.results import LayerResult
+from repro.workloads.models import resnet50
+
+
+def _layer_result(
+    name="conv",
+    weight_load=10,
+    ifmap_prep=20,
+    psum_move=30,
+    activation_transfer=5,
+    compute=100,
+    dram_cycles=40,
+):
+    on_chip = weight_load + ifmap_prep + psum_move + activation_transfer + compute
+    return LayerResult(
+        name=name,
+        mappings=2,
+        weight_load_cycles=weight_load,
+        ifmap_prep_cycles=ifmap_prep,
+        psum_move_cycles=psum_move,
+        activation_transfer_cycles=activation_transfer,
+        compute_cycles=compute,
+        dram_traffic_bytes=4096,
+        dram_cycles=dram_cycles,
+        total_cycles=max(on_chip, dram_cycles),
+        macs=1000,
+    )
+
+
+def test_time_domain_conversion():
+    timeline = CycleTimeline(frequency_ghz=50.0)
+    assert timeline.cycle_ps == pytest.approx(20.0)  # 50 GHz -> 20 ps
+    assert timeline.cycles_to_ps(5) == pytest.approx(100.0)
+    assert timeline.cycles_to_us(50_000) == pytest.approx(1.0)
+
+
+def test_rejects_nonpositive_clock():
+    with pytest.raises(ValueError):
+        CycleTimeline(frequency_ghz=0.0)
+
+
+def test_record_layer_lays_out_phases_sequentially():
+    timeline = CycleTimeline(frequency_ghz=50.0)
+    timeline.record_layer(_layer_result())
+    on_chip = [e for e in timeline.events if e.track == "on_chip"]
+    assert [e.name for e in on_chip] == list(PHASES)
+    # Phases tile the on-chip region back to back.
+    cursor = 0
+    for event in on_chip:
+        assert event.start_cycle == cursor
+        cursor = event.end_cycle
+    assert cursor == 165  # sum of the phase charges
+
+
+def test_zero_cycle_phases_are_skipped():
+    timeline = CycleTimeline(frequency_ghz=50.0)
+    timeline.record_layer(_layer_result(psum_move=0, ifmap_prep=0))
+    names = [e.name for e in timeline.events if e.track == "on_chip"]
+    assert "psum_move" not in names and "ifmap_prep" not in names
+
+
+def test_dram_runs_in_parallel_from_layer_start():
+    timeline = CycleTimeline(frequency_ghz=50.0)
+    timeline.record_layer(_layer_result(dram_cycles=40))
+    timeline.record_layer(_layer_result(name="conv2", dram_cycles=500))
+    dram = [e for e in timeline.events if e.track == "dram"]
+    layers = [e for e in timeline.events if e.track == "layer"]
+    assert dram[0].start_cycle == layers[0].start_cycle == 0
+    # Second layer starts where the first layer's max(on_chip, dram) ended.
+    assert layers[1].start_cycle == layers[0].end_cycle == 165
+    assert dram[1].start_cycle == 165
+    # The dram-bound second layer's span equals its dram transfer.
+    assert layers[1].duration_cycles == 500
+    assert timeline.total_cycles == 165 + 500
+
+
+def test_occupancy_samples_become_counters():
+    timeline = CycleTimeline(frequency_ghz=50.0)
+    timeline.record_layer(_layer_result(), occupancy={"ifmap_buffer_bytes": 123.0})
+    assert timeline.counters == [CounterSample("ifmap_buffer_bytes", 0, 123.0)]
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        TimelineEvent("x", "nonexistent-track", 0, 1)
+    with pytest.raises(ValueError):
+        TimelineEvent("x", "layer", -1, 1)
+    with pytest.raises(ValueError):
+        TimelineEvent("x", "layer", 0, -1)
+
+
+def test_chrome_trace_timestamps_are_simulated_time():
+    """The exported span equals total_cycles / clock (acceptance criterion)."""
+    timeline = CycleTimeline(frequency_ghz=50.0, design="D", network="N")
+    timeline.record_layer(_layer_result())
+    timeline.record_layer(_layer_result(name="conv2"))
+    trace = timeline.to_chrome_trace()
+    complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    span_us = max(e["ts"] + e["dur"] for e in complete)
+    assert span_us == pytest.approx(timeline.total_cycles / (50.0 * 1e3))
+    assert trace["otherData"]["time_domain"] == "simulated"
+    assert trace["otherData"]["clock_ghz"] == 50.0
+    assert trace["otherData"]["total_cycles"] == timeline.total_cycles
+    # Track metadata labels every tid.
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert {e["tid"] for e in meta} == set(TRACKS.values())
+    json.loads(timeline.to_chrome_trace_json())  # round-trips as JSON
+
+
+def test_engine_populates_timeline(supernpu_config, rsfq):
+    estimate = estimate_npu(supernpu_config, rsfq)
+    timeline = CycleTimeline(
+        estimate.frequency_ghz,
+        design=supernpu_config.name,
+        network="ResNet50",
+    )
+    run = simulate(
+        supernpu_config, resnet50(), batch=30, estimate=estimate, timeline=timeline
+    )
+    assert timeline.total_cycles == run.total_cycles
+    layer_events = [e for e in timeline.events if e.track == "layer"]
+    assert [e.name for e in layer_events] == [l.name for l in run.layers]
+    # Every layer contributed buffer-occupancy samples.
+    counter_names = {c.name for c in timeline.counters}
+    assert counter_names == {
+        "ifmap_buffer_bytes", "output_buffer_bytes", "weight_buffer_bytes",
+    }
+    # Occupancy never exceeds the configured capacities.
+    for sample in timeline.counters:
+        if sample.name == "ifmap_buffer_bytes":
+            assert sample.value <= supernpu_config.ifmap_buffer_bytes
+
+
+def test_engine_without_timeline_unchanged(baseline_config, rsfq, tiny_network):
+    """The timeline hook is opt-in; results are identical without it."""
+    estimate = estimate_npu(baseline_config, rsfq)
+    plain = simulate(baseline_config, tiny_network, batch=1, estimate=estimate)
+    timeline = CycleTimeline(estimate.frequency_ghz)
+    timed = simulate(
+        baseline_config, tiny_network, batch=1, estimate=estimate, timeline=timeline
+    )
+    assert plain.total_cycles == timed.total_cycles
+    assert plain.layers == timed.layers
+
+
+def test_write_timeline_embeds_manifest(tmp_path, supernpu_config, rsfq, tiny_network):
+    from repro import obs
+
+    estimate = estimate_npu(supernpu_config, rsfq)
+    timeline = CycleTimeline(estimate.frequency_ghz)
+    simulate(supernpu_config, tiny_network, batch=1, estimate=estimate,
+             timeline=timeline)
+    manifest = obs.RunManifest.capture("bottleneck", config=supernpu_config)
+    path = obs.write_timeline(tmp_path / "t.json", timeline, manifest=manifest)
+    trace = json.loads(path.read_text())
+    assert trace["metadata"]["command"] == "bottleneck"
+    assert trace["metadata"]["design"] == supernpu_config.name
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])

@@ -1,0 +1,197 @@
+"""Bottleneck attribution and roofline tests."""
+
+import pytest
+
+from repro.core.designs import baseline, supernpu
+from repro.estimator.arch_level import estimate_npu
+from repro.simulator.attribution import (
+    BOUNDS,
+    PHASE_ORDER,
+    attribute,
+    attribute_layer,
+    attribution_records,
+    phase_cycle_totals,
+    roofline,
+    roofline_records,
+)
+from repro.simulator.engine import simulate
+from repro.simulator.results import LayerResult
+from repro.workloads.models import resnet50
+
+
+def _layer(weight_load=0, ifmap_prep=0, psum_move=0, activation=0, compute=0,
+           dram_cycles=0, traffic=1024, macs=1000, name="l"):
+    on_chip = weight_load + ifmap_prep + psum_move + activation + compute
+    return LayerResult(
+        name=name,
+        mappings=1,
+        weight_load_cycles=weight_load,
+        ifmap_prep_cycles=ifmap_prep,
+        psum_move_cycles=psum_move,
+        activation_transfer_cycles=activation,
+        compute_cycles=compute,
+        dram_traffic_bytes=traffic,
+        dram_cycles=dram_cycles,
+        total_cycles=max(on_chip, dram_cycles),
+        macs=macs,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(rsfq):
+    out = {}
+    for config, batch in ((baseline(), 1), (supernpu(), 30)):
+        estimate = estimate_npu(config, rsfq)
+        out[config.name] = (
+            simulate(config, resnet50(), batch=batch, estimate=estimate),
+            estimate,
+            config,
+        )
+    return out
+
+
+# -- layer classification (hand-computed) -------------------------------
+
+def test_compute_bound_layer():
+    attribution = attribute_layer(_layer(compute=100, weight_load=10))
+    assert attribution.bound == "compute"
+    assert attribution.dominant_phase == "compute"
+    assert attribution.fractions["compute"] == pytest.approx(100 / 110)
+
+
+def test_preparation_bound_layer():
+    attribution = attribute_layer(_layer(compute=10, psum_move=100))
+    assert attribution.bound == "preparation"
+    assert attribution.dominant_phase == "psum_move"
+
+
+def test_dram_bound_layer_from_max_rule():
+    """DRAM wins exactly when dram_cycles exceed the on-chip serial sum."""
+    attribution = attribute_layer(_layer(compute=50, dram_cycles=200))
+    assert attribution.bound == "dram"
+    assert attribution.total_cycles == 200
+    assert attribution.fractions["compute"] == pytest.approx(0.25)
+    assert attribution.fractions["dram_stall"] == pytest.approx(0.75)
+
+
+def test_dram_tie_goes_on_chip():
+    attribution = attribute_layer(_layer(compute=100, dram_cycles=100))
+    assert attribution.bound == "compute"
+    assert attribution.fractions["dram_stall"] == 0.0
+
+
+def test_fractions_partition_total_exactly():
+    attribution = attribute_layer(
+        _layer(weight_load=7, ifmap_prep=11, psum_move=13, activation=17,
+               compute=19, dram_cycles=100)
+    )
+    assert sum(attribution.fractions.values()) == pytest.approx(1.0, abs=1e-9)
+    assert set(attribution.fractions) == set(PHASE_ORDER)
+
+
+def test_zero_cycle_layer_is_harmless():
+    attribution = attribute_layer(_layer())
+    assert attribution.total_cycles == 0
+    assert all(value == 0.0 for value in attribution.fractions.values())
+
+
+# -- whole-run reports ---------------------------------------------------
+
+def test_every_layer_gets_a_bound(runs):
+    for run, _, _ in runs.values():
+        report = attribute(run)
+        assert len(report.layers) == len(run.layers)
+        for layer in report.layers:
+            assert layer.bound in BOUNDS
+            assert sum(layer.fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_summary_fractions_sum_to_one(runs):
+    for run, _, _ in runs.values():
+        report = attribute(run)
+        assert sum(report.summary_fractions.values()) == pytest.approx(1.0, abs=1e-6)
+        assert sum(report.bound_counts.values()) == len(run.layers)
+
+
+def test_baseline_is_preparation_dominated(runs):
+    """Fig. 15: the Baseline drowns in psum movement + ifmap rewinds."""
+    report = attribute(runs["Baseline"][0])
+    fractions = report.summary_fractions
+    prep = (fractions["weight_load"] + fractions["ifmap_prep"]
+            + fractions["psum_move"] + fractions["activation_transfer"])
+    assert prep > 0.9
+    assert report.bound_counts["preparation"] > report.bound_counts["compute"]
+
+
+def test_supernpu_mostly_compute_bound(runs):
+    """Fig. 19: the optimizations make compute the common bound."""
+    report = attribute(runs["SuperNPU"][0])
+    assert report.summary_fractions["compute"] > 0.5
+
+
+def test_critical_layers_ranked_by_cycles(runs):
+    report = attribute(runs["Baseline"][0])
+    top = report.critical_layers(5)
+    assert len(top) == 5
+    shares = [share for _, share in top]
+    assert shares == sorted(shares, reverse=True)
+    cycles = [layer.total_cycles for layer, _ in top]
+    assert cycles == sorted(cycles, reverse=True)
+    assert sum(shares) <= 1.0
+    with pytest.raises(ValueError):
+        report.critical_layers(0)
+
+
+def test_phase_cycle_totals_partition_run(runs):
+    for run, _, _ in runs.values():
+        totals = phase_cycle_totals(run)
+        assert totals["total"] == run.total_cycles
+        assert sum(v for k, v in totals.items() if k != "total") == run.total_cycles
+
+
+def test_attribution_records_are_flat(runs):
+    report = attribute(runs["SuperNPU"][0])
+    records = attribution_records(report)
+    assert len(records) == len(report.layers)
+    for record in records:
+        assert record["bound"] in BOUNDS
+        total = sum(v for k, v in record.items() if k.startswith("frac_"))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+# -- roofline ------------------------------------------------------------
+
+def test_roofline_points(runs):
+    run, estimate, config = runs["SuperNPU"]
+    report = roofline(run, estimate.peak_mac_per_s, config.memory_bandwidth_gbps)
+    assert report.compute_roof_gops == pytest.approx(
+        2 * estimate.peak_mac_per_s / 1e9
+    )
+    assert report.ridge_macs_per_byte == pytest.approx(
+        estimate.peak_mac_per_s / (config.memory_bandwidth_gbps * 1e9)
+    )
+    assert len(report.points) == len(run.layers)
+    for point in report.points:
+        assert point.attainable_gops <= report.compute_roof_gops + 1e-9
+        # Nothing exceeds its roof.
+        assert point.achieved_gops <= point.attainable_gops * (1 + 1e-9)
+        expected = "bandwidth" if point.intensity_macs_per_byte < \
+            report.ridge_macs_per_byte else "compute"
+        assert point.limiter == expected
+
+
+def test_roofline_records_shape(runs):
+    run, estimate, config = runs["Baseline"]
+    report = roofline(run, estimate.peak_mac_per_s, config.memory_bandwidth_gbps)
+    records = roofline_records(report)
+    assert len(records) == len(report.points)
+    assert {"layer", "intensity_macs_per_byte", "achieved_gops",
+            "attainable_gops", "limiter"} <= set(records[0])
+
+
+def test_roofline_rejects_bad_roofs(runs):
+    run = runs["Baseline"][0]
+    with pytest.raises(ValueError):
+        roofline(run, 0.0, 300.0)
+    with pytest.raises(ValueError):
+        roofline(run, 1e12, 0.0)

@@ -65,3 +65,80 @@ def test_higher_activity_means_more_power(rsfq, supernpu_config, tiny_network):
     low = power_report(run, estimate, data_activity=0.1)
     high = power_report(run, estimate, data_activity=0.9)
     assert high.dynamic_w > low.dynamic_w
+
+
+# -- hand-computed ActivityTrace ----------------------------------------
+
+def _synthetic_run_and_estimate(baseline_config):
+    """A fully hand-specified run + estimate for arithmetic checks.
+
+    50 GHz, 50,000 cycles -> 1 µs runtime.  ``pe_array`` is active for
+    10,000 effective cycles at 1 aJ clocked + 2 aJ wire per cycle.
+    """
+    from repro.estimator.arch_level import NPUEstimate
+    from repro.estimator.uarch_level import UnitEstimate
+    from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
+
+    def unit(name, static_w, clocked_j, wire_j):
+        return UnitEstimate(
+            name=name, kind="logic", gate_count=1, jj_count=1,
+            frequency_ghz=50.0, cycle_time_ps=20.0, critical_pair="x",
+            static_power_w=static_w, access_energy_j=clocked_j + wire_j,
+            access_energy_clocked_j=clocked_j, access_energy_wire_j=wire_j,
+            area_mm2=1.0,
+        )
+
+    estimate = NPUEstimate(
+        config=baseline_config,
+        technology="rsfq",
+        frequency_ghz=50.0,
+        cycle_time_ps=20.0,
+        critical_path="x",
+        units={
+            "pe_array": unit("pe_array", 0.5, 1e-18, 2e-18),
+            "dau": unit("dau", 0.25, 4e-18, 0.0),
+        },
+        wiring_static_power_w=0.25,
+    )
+    activity = ActivityTrace()
+    activity.add("pe_array", 10_000.0)
+    activity.add("dau", 5_000.0)
+    activity.add("mystery_unit", 1e9)  # no estimate -> must be ignored
+    layer = LayerResult(
+        name="l", mappings=1, weight_load_cycles=0, ifmap_prep_cycles=0,
+        psum_move_cycles=0, activation_transfer_cycles=0,
+        compute_cycles=50_000, dram_traffic_bytes=0, dram_cycles=0,
+        total_cycles=50_000, macs=0,
+    )
+    run = SimulationResult("d", "n", 1, 50.0, [layer], activity)
+    return run, estimate
+
+
+def test_hand_computed_static_dynamic_split(baseline_config):
+    run, estimate = _synthetic_run_and_estimate(baseline_config)
+    report = power_report(run, estimate, data_activity=0.5)
+    # Static: 0.5 + 0.25 unit W + 0.25 wiring W.
+    assert report.static_w == pytest.approx(1.0)
+    # pe_array: 10,000 cycles * (1 aJ + 0.5 * 2 aJ) = 2e-14 J over 1 µs.
+    assert report.dynamic_by_unit["pe_array"] == pytest.approx(2e-8)
+    # dau: 5,000 cycles * 4 aJ (no wire energy) = 2e-14 J over 1 µs.
+    assert report.dynamic_by_unit["dau"] == pytest.approx(2e-8)
+    assert report.dynamic_w == pytest.approx(4e-8)
+    assert report.total_w == pytest.approx(1.0 + 4e-8)
+
+
+def test_units_without_estimates_are_skipped(baseline_config):
+    run, estimate = _synthetic_run_and_estimate(baseline_config)
+    report = power_report(run, estimate)
+    assert "mystery_unit" not in report.dynamic_by_unit
+
+
+def test_data_activity_scales_wire_energy_only(baseline_config):
+    run, estimate = _synthetic_run_and_estimate(baseline_config)
+    zero = power_report(run, estimate, data_activity=0.0)
+    full = power_report(run, estimate, data_activity=1.0)
+    # pe_array wire energy doubles the clocked floor at full activity.
+    assert zero.dynamic_by_unit["pe_array"] == pytest.approx(1e-8)
+    assert full.dynamic_by_unit["pe_array"] == pytest.approx(3e-8)
+    # dau has no wire cells: activity must not change it.
+    assert zero.dynamic_by_unit["dau"] == full.dynamic_by_unit["dau"]

@@ -11,7 +11,7 @@ from repro.simulator.trace import (
     trace_to_csv,
     verify_against_engine,
 )
-from repro.workloads.models import resnet50, vgg16
+from repro.workloads.models import vgg16
 
 
 @pytest.fixture(scope="module")

@@ -58,3 +58,86 @@ def test_zero_cycle_run_rejected():
     empty = SimulationResult("d", "n", 1, 52.6, [], ActivityTrace())
     with pytest.raises(ValueError):
         utilization_report(empty)
+
+
+# -- hand-computed ActivityTrace ----------------------------------------
+
+def _run_with_activity(activity, total_cycles=1000):
+    """A synthetic run: one layer carrying the cycle total, given activity."""
+    from repro.simulator.results import LayerResult, SimulationResult
+
+    layer = LayerResult(
+        name="l", mappings=1, weight_load_cycles=0, ifmap_prep_cycles=0,
+        psum_move_cycles=0, activation_transfer_cycles=0,
+        compute_cycles=total_cycles, dram_traffic_bytes=0, dram_cycles=0,
+        total_cycles=total_cycles, macs=0,
+    )
+    return SimulationResult("d", "n", 1, 52.6, [layer], activity)
+
+
+def test_hand_computed_percentages():
+    """250/1000 -> 25%, 1000/1000 -> 100%, overshoot clamps to 100%."""
+    from repro.simulator.results import ActivityTrace
+
+    activity = ActivityTrace()
+    activity.add("pe_array", 250.0)
+    activity.add("dau", 1000.0)
+    activity.add("network", 1500.0)  # effective cycles can exceed the total
+    report = utilization_report(_run_with_activity(activity))
+    assert report.per_unit == {
+        "pe_array": pytest.approx(0.25),
+        "dau": pytest.approx(1.0),
+        "network": pytest.approx(1.0),  # clamped
+    }
+    assert report.pe_utilization == pytest.approx(0.25)
+
+
+def test_activity_accumulates_across_adds():
+    from repro.simulator.results import ActivityTrace
+
+    activity = ActivityTrace()
+    activity.add("pe_array", 100.0)
+    activity.add("pe_array", 150.0)
+    report = utilization_report(_run_with_activity(activity))
+    assert report.per_unit["pe_array"] == pytest.approx(0.25)
+
+
+def test_activity_rejects_negative_cycles():
+    from repro.simulator.results import ActivityTrace
+
+    with pytest.raises(ValueError):
+        ActivityTrace().add("pe_array", -1.0)
+
+
+def test_busiest_unit_tie_breaks_lexicographically():
+    """Equal utilization -> smallest name wins, whatever the insert order."""
+    from repro.simulator.results import ActivityTrace
+
+    first = ActivityTrace()
+    first.add("zeta", 500.0)
+    first.add("alpha", 500.0)
+    second = ActivityTrace()
+    second.add("alpha", 500.0)
+    second.add("zeta", 500.0)
+    assert utilization_report(_run_with_activity(first)).busiest_unit() == "alpha"
+    assert utilization_report(_run_with_activity(second)).busiest_unit() == "alpha"
+
+
+def test_busiest_unit_prefers_strictly_higher_value():
+    from repro.simulator.results import ActivityTrace
+
+    activity = ActivityTrace()
+    activity.add("alpha", 100.0)
+    activity.add("zeta", 900.0)
+    assert utilization_report(_run_with_activity(activity)).busiest_unit() == "zeta"
+
+
+def test_to_dict_is_json_ready(runs):
+    import json
+
+    report = utilization_report(runs[1])
+    document = report.to_dict()
+    assert document["design"] == "SuperNPU"
+    assert document["busiest_unit"] == report.busiest_unit()
+    assert list(document["per_unit"]) == sorted(document["per_unit"])
+    json.dumps(document)
