@@ -1,0 +1,212 @@
+"""``repro.api`` — the canonical typed entry points of the framework.
+
+One facade instead of five scattered imports: resolve a design, estimate
+it, simulate it, evaluate the paper suite, or compare arbitrary design
+points, with uniform input handling everywhere:
+
+* **designs** — a named design point (``"supernpu"``), a path to a JSON
+  config file, a plain config dict, or an :class:`NPUConfig`;
+* **workloads** — a benchmark name (``"resnet50"``) or a
+  :class:`~repro.workloads.models.Network`;
+* **technology** — ``"rsfq"`` / ``"ersfq"`` (or a
+  :class:`~repro.device.cells.CellLibrary` for custom libraries).
+
+Every simulation goes through the ambient job runner
+(:mod:`repro.core.jobs`), so parallelism and result caching apply
+uniformly::
+
+    from repro import api
+
+    config = api.design("supernpu")
+    print(api.estimate(config).frequency_ghz)           # 52.6
+    run = api.simulate(config, "resnet50", batch=30)
+
+    with api.session(jobs=4, cache_dir="~/.cache/supernpu"):
+        suite = api.evaluate()                          # Fig. 23, fanned out
+
+The CLI commands are thin wrappers over these functions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.baselines.scalesim import TPU_CORE, CMOSNPUConfig
+from repro.core.ablate import AblationRow, ablation_study
+from repro.core.batching import batch_for
+from repro.core.compare import ComparisonColumn, compare as _compare
+from repro.core.config_io import config_from_dict, load as _load_config
+from repro.core.designs import design_by_name
+from repro.core.evaluate import EvaluationSuite, evaluate_suite
+from repro.core.jobs import (
+    JobRunner,
+    ResultCache,
+    SimTask,
+    get_runner,
+    session,
+    use_runner,
+)
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.estimator.arch_level import NPUEstimate
+from repro.obs.timeline import CycleTimeline
+from repro.simulator.results import SimulationResult
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network, all_workloads, by_name
+
+#: Anything :func:`design` accepts.
+DesignLike = Union[str, Path, Dict[str, object], NPUConfig]
+#: Anything :func:`workload` accepts.
+WorkloadLike = Union[str, Network]
+#: Anything :func:`library` accepts.
+TechnologyLike = Union[str, Technology, CellLibrary]
+
+__all__ = [
+    "DesignLike",
+    "WorkloadLike",
+    "TechnologyLike",
+    "design",
+    "workload",
+    "library",
+    "estimate",
+    "simulate",
+    "evaluate",
+    "compare",
+    "ablate",
+    "JobRunner",
+    "ResultCache",
+    "SimTask",
+    "get_runner",
+    "session",
+    "use_runner",
+]
+
+
+def design(spec: DesignLike) -> NPUConfig:
+    """Resolve any design description to an :class:`NPUConfig`.
+
+    Accepts an ``NPUConfig`` (returned as-is), a config dict, a path to
+    a JSON config file (``Path``, or a string naming an existing file /
+    ending in ``.json``), or a named paper design point.
+    """
+    if isinstance(spec, NPUConfig):
+        return spec
+    if isinstance(spec, dict):
+        return config_from_dict(spec)
+    if isinstance(spec, Path):
+        return _load_config(spec)
+    if isinstance(spec, str):
+        if spec.endswith(".json") or Path(spec).is_file():
+            return _load_config(spec)
+        return design_by_name(spec)
+    raise TypeError(
+        f"cannot resolve a design from {type(spec).__name__}; "
+        "expected a name, dict, path, or NPUConfig"
+    )
+
+
+def workload(spec: WorkloadLike) -> Network:
+    """Resolve a benchmark name (or pass a Network through)."""
+    if isinstance(spec, Network):
+        return spec
+    if isinstance(spec, str):
+        return by_name(spec)
+    raise TypeError(
+        f"cannot resolve a workload from {type(spec).__name__}; "
+        "expected a name or Network"
+    )
+
+
+def library(technology: TechnologyLike = "rsfq") -> CellLibrary:
+    """Resolve a technology name / enum (or pass a CellLibrary through)."""
+    if isinstance(technology, CellLibrary):
+        return technology
+    if isinstance(technology, Technology):
+        return library_for(technology)
+    if isinstance(technology, str):
+        return library_for(Technology(technology))
+    raise TypeError(
+        f"cannot resolve a cell library from {type(technology).__name__}; "
+        "expected 'rsfq' / 'ersfq', a Technology, or a CellLibrary"
+    )
+
+
+def estimate(design_spec: DesignLike, *,
+             technology: TechnologyLike = "rsfq",
+             runner: Optional[JobRunner] = None) -> NPUEstimate:
+    """Frequency / power / area estimation of one design point."""
+    runner = runner or get_runner()
+    return runner.estimate(design(design_spec), library(technology))
+
+
+def simulate(design_spec: DesignLike, workload_spec: WorkloadLike, *,
+             batch: Optional[int] = None,
+             technology: TechnologyLike = "rsfq",
+             timeline: Optional[CycleTimeline] = None,
+             runner: Optional[JobRunner] = None) -> SimulationResult:
+    """Cycle-level simulation of one workload on one design.
+
+    ``batch=None`` applies the paper's Table II policy (named designs)
+    or the capacity-derived rule (custom configs).  A ``timeline`` run
+    bypasses the runner — the timeline is filled by live simulation, so
+    it cannot come from the cache or another process.
+    """
+    config = design(design_spec)
+    network = workload(workload_spec)
+    lib = library(technology)
+    resolved_batch = batch if batch is not None else batch_for(config, network)
+    if timeline is not None:
+        from repro.simulator.engine import simulate as engine_simulate
+
+        runner = runner or get_runner()
+        est = runner.estimate(config, lib)
+        return engine_simulate(config, network, batch=resolved_batch,
+                               estimate=est, timeline=timeline)
+    runner = runner or get_runner()
+    return runner.run_one(SimTask(config, network, resolved_batch, lib))
+
+
+def evaluate(designs: Optional[Sequence[DesignLike]] = None,
+             workloads: Optional[Sequence[WorkloadLike]] = None, *,
+             technology: TechnologyLike = "rsfq",
+             tpu: CMOSNPUConfig = TPU_CORE,
+             runner: Optional[JobRunner] = None) -> EvaluationSuite:
+    """The Fig. 23 suite: TPU baseline + design points x workloads."""
+    return evaluate_suite(
+        designs=None if designs is None else [design(d) for d in designs],
+        workloads=None if workloads is None else [workload(w) for w in workloads],
+        library=library(technology),
+        tpu=tpu,
+        runner=runner,
+    )
+
+
+def compare(designs: Sequence[DesignLike],
+            workloads: Optional[Sequence[WorkloadLike]] = None, *,
+            technology: TechnologyLike = "rsfq",
+            runner: Optional[JobRunner] = None) -> List[ComparisonColumn]:
+    """Side-by-side scorecards for any set of design points."""
+    return _compare(
+        [design(d) for d in designs],
+        workloads=None if workloads is None else [workload(w) for w in workloads],
+        library=library(technology),
+        runner=runner,
+    )
+
+
+def ablate(base: Optional[DesignLike] = None,
+           workloads: Optional[Sequence[WorkloadLike]] = None, *,
+           technology: TechnologyLike = "rsfq",
+           runner: Optional[JobRunner] = None) -> List[AblationRow]:
+    """One-factor-at-a-time ablation of a design (default: SuperNPU)."""
+    return ablation_study(
+        workloads=None if workloads is None else [workload(w) for w in workloads],
+        library=library(technology),
+        base=None if base is None else design(base),
+        runner=runner,
+    )
+
+
+def paper_workloads() -> List[Network]:
+    """The six benchmark CNNs, in canonical order."""
+    return all_workloads()

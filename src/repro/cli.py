@@ -19,6 +19,20 @@ trace-event JSON, loadable in Perfetto) and ``--metrics-out FILE``
 ``repro.obs`` instrumentation on for that run.  ``bottleneck`` adds
 ``--timeline-out FILE``: a Chrome trace whose timestamps are *simulated*
 time (cycles through the design's clock).
+
+Commands that fan out many design-point simulations (``simulate``,
+``evaluate``, ``compare``, ``sweep``, ``reproduce``) accept
+``--jobs N`` (parallel worker processes; default 1 = serial),
+``--cache-dir DIR`` (content-addressed on-disk result cache: warm
+re-runs skip simulation entirely), and ``--no-cache``.  ``supernpu
+cache stats|clear --cache-dir DIR`` inspects / empties a cache.
+Parallel and warm-cache results are bitwise-identical to serial cold
+runs.  ``estimate``, ``simulate``, ``evaluate`` and ``compare`` accept
+``--json``: one consistent machine-readable envelope
+(``{"command", "design", "workload", "data", "manifest"}``).
+
+All command logic routes through :mod:`repro.api`, the canonical typed
+facade; the CLI only parses flags and formats tables.
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from typing import Iterable, List, Optional, Sequence
 
 
@@ -84,23 +99,78 @@ class _ObsSession:
 
 
 def _resolve_design(args: argparse.Namespace):
-    """A named design, or a JSON config file when --config-file is given."""
+    """One resolver for every design-taking command.
+
+    ``--config-file`` wins when given; otherwise the positional design
+    goes through :func:`repro.api.design`, which accepts both named
+    design points and paths to JSON config files.
+    """
+    from repro import api
+
     if getattr(args, "config_file", None):
-        from repro.core.config_io import load
+        return api.design(args.config_file)
+    return api.design(args.design)
 
-        return load(args.config_file)
-    from repro.core.designs import design_by_name
 
-    return design_by_name(args.design)
+@contextmanager
+def _jobs_session(args: argparse.Namespace):
+    """Install the job runner the command's --jobs/--cache-dir flags ask for.
+
+    On exit, prints a one-line cache summary when a cache was in play, so
+    warm runs visibly report their hit rate.
+    """
+    from repro.core import jobs
+
+    workers = getattr(args, "jobs", None) or 1
+    cache_dir = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None)
+    # Summary lines go to stderr under --json so stdout stays one document.
+    stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+    with jobs.session(jobs=workers, cache_dir=cache_dir) as runner:
+        yield runner
+        if runner.cache is not None:
+            print(f"cache [{runner.cache.root}]: {runner.stats.describe()}",
+                  file=stream)
+        if workers > 1 and runner.stats.elapsed_seconds > 0:
+            print(f"jobs: {workers} workers, "
+                  f"{runner.stats.parallel_speedup:.2f}x aggregate-sim-time speedup",
+                  file=stream)
+
+
+def _print_envelope(command: str, data, *, config=None, network=None,
+                    batch=None, technology=None, **extra) -> None:
+    """The one JSON result envelope shared by every --json command."""
+    import json
+
+    from repro import obs
+
+    manifest = obs.RunManifest.capture(
+        command, config=config, workload=network, batch=batch,
+        technology=technology, **extra,
+    )
+    document = {
+        "command": command,
+        "design": getattr(config, "name", None),
+        "workload": getattr(network, "name", None),
+        "data": data,
+        "manifest": manifest.to_dict(),
+    }
+    print(json.dumps(document, indent=2, sort_keys=True))
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    from repro.device.cells import Technology, library_for
-    from repro.estimator.arch_level import estimate_npu
+    from repro import api
 
     config = _resolve_design(args)
-    library = library_for(Technology(args.technology))
-    est = estimate_npu(config, library)
+    library = api.library(args.technology)
+    est = api.estimate(config, technology=library)
+    if args.json:
+        from repro.core.report import estimate_record
+
+        _print_envelope("estimate", estimate_record(est), config=config,
+                        technology=args.technology)
+        return 0
     print(f"design          : {config.name} ({library.technology.value})")
     print(f"frequency       : {est.frequency_ghz:.2f} GHz  (critical: {est.critical_path})")
     print(f"peak throughput : {est.peak_tmacs:.0f} TMAC/s")
@@ -117,52 +187,64 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.batching import batch_for
-    from repro.device.cells import Technology, library_for
-    from repro.estimator.arch_level import estimate_npu
-    from repro.simulator.engine import simulate
+    from repro import api
     from repro.simulator.power import power_report
-    from repro.workloads.models import by_name
 
     config = _resolve_design(args)
-    network = by_name(args.workload)
+    network = api.workload(args.workload)
     session = _ObsSession(args, "simulate")
-    library = library_for(Technology(args.technology))
-    estimate = estimate_npu(config, library)
-    batch = args.batch or batch_for(config, network)
-    run = simulate(config, network, batch=batch, estimate=estimate)
-    power = power_report(run, estimate)
-    breakdown = run.cycle_breakdown()
-    print(f"{config.name} running {network.name} (batch {batch})")
-    print(f"  cycles      : {run.total_cycles:,}")
-    print(f"  latency     : {run.latency_s * 1e6:.1f} us")
-    print(f"  throughput  : {run.tmacs:.2f} TMAC/s")
-    print(f"  PE util     : {100 * run.pe_utilization(estimate.peak_mac_per_s):.2f} %")
-    print(
-        "  breakdown   : "
-        f"prep {100 * breakdown['preparation']:.1f}% / "
-        f"compute {100 * breakdown['computation']:.1f}% / "
-        f"memory {100 * breakdown['memory']:.1f}%"
-    )
-    print(f"  chip power  : {power.total_w:.2f} W "
-          f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
-    session.finish(config=config, network=network, batch=batch,
-                   technology=args.technology)
+    with _jobs_session(args):
+        library = api.library(args.technology)
+        estimate = api.estimate(config, technology=library)
+        run = api.simulate(config, network, batch=args.batch, technology=library)
+        power = power_report(run, estimate)
+        breakdown = run.cycle_breakdown()
+        if args.json:
+            from repro.core.report import simulation_record
+
+            _print_envelope("simulate", simulation_record(run, power),
+                            config=config, network=network, batch=run.batch,
+                            technology=args.technology)
+            session.finish(config=config, network=network, batch=run.batch,
+                           technology=args.technology)
+            return 0
+        print(f"{config.name} running {network.name} (batch {run.batch})")
+        print(f"  cycles      : {run.total_cycles:,}")
+        print(f"  latency     : {run.latency_s * 1e6:.1f} us")
+        print(f"  throughput  : {run.tmacs:.2f} TMAC/s")
+        print(f"  PE util     : {100 * run.pe_utilization(estimate.peak_mac_per_s):.2f} %")
+        print(
+            "  breakdown   : "
+            f"prep {100 * breakdown['preparation']:.1f}% / "
+            f"compute {100 * breakdown['computation']:.1f}% / "
+            f"memory {100 * breakdown['memory']:.1f}%"
+        )
+        print(f"  chip power  : {power.total_w:.2f} W "
+              f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
+        session.finish(config=config, network=network, batch=run.batch,
+                       technology=args.technology)
     return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.core.evaluate import evaluate_suite
+    from repro import api
 
     session = _ObsSession(args, "evaluate")
-    suite = evaluate_suite()
-    speedups = suite.speedups()
-    workloads = list(suite.tpu_runs) + ["Average"]
-    widths = [14] + [10] * len(workloads)
-    print(_fmt_row(["design (vs TPU)"] + workloads, widths))
-    for design, row in speedups.items():
-        print(_fmt_row([design] + [f"{row[w]:.2f}x" for w in workloads], widths))
-    session.finish(suite="fig23")
+    with _jobs_session(args):
+        suite = api.evaluate()
+        speedups = suite.speedups()
+        workloads = list(suite.tpu_runs) + ["Average"]
+        if args.json:
+            _print_envelope("evaluate", {"speedups": speedups,
+                                         "workloads": workloads},
+                            suite="fig23")
+            session.finish(suite="fig23")
+            return 0
+        widths = [14] + [10] * len(workloads)
+        print(_fmt_row(["design (vs TPU)"] + workloads, widths))
+        for design, row in speedups.items():
+            print(_fmt_row([design] + [f"{row[w]:.2f}x" for w in workloads], widths))
+        session.finish(suite="fig23")
     return 0
 
 
@@ -197,40 +279,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.optimizer import buffer_sweep, register_sweep, resource_sweep
 
     session = _ObsSession(args, "sweep")
-    if args.plot:
-        from repro.core.plotting import sweep_chart
+    with _jobs_session(args):
+        if args.plot:
+            from repro.core.plotting import sweep_chart
+
+            if args.which == "buffers":
+                print(sweep_chart(buffer_sweep(), "max_batch"))
+            elif args.which == "resources":
+                print(sweep_chart(resource_sweep(), "max_batch_added_buffer"))
+            else:
+                for width, rows in register_sweep().items():
+                    print(f"width {width}:")
+                    print(sweep_chart(rows, "speedup"))
+            session.finish(which=args.which, plot=True)
+            return 0
 
         if args.which == "buffers":
-            print(sweep_chart(buffer_sweep(), "max_batch"))
+            for point in buffer_sweep():
+                m = point.metrics
+                print(
+                    f"{point.label:26s} single={m['single_batch']:7.2f}x "
+                    f"max={m['max_batch']:7.2f}x area={m['area']:5.2f}x"
+                )
         elif args.which == "resources":
-            print(sweep_chart(resource_sweep(), "max_batch_added_buffer"))
+            for point in resource_sweep():
+                m = point.metrics
+                print(
+                    f"{point.label:14s} fixed={m['max_batch_fixed_buffer']:7.2f}x "
+                    f"added={m['max_batch_added_buffer']:7.2f}x "
+                    f"intensity={m['intensity']:9.0f}"
+                )
         else:
             for width, rows in register_sweep().items():
-                print(f"width {width}:")
-                print(sweep_chart(rows, "speedup"))
-        session.finish(which=args.which, plot=True)
-        return 0
-
-    if args.which == "buffers":
-        for point in buffer_sweep():
-            m = point.metrics
-            print(
-                f"{point.label:26s} single={m['single_batch']:7.2f}x "
-                f"max={m['max_batch']:7.2f}x area={m['area']:5.2f}x"
-            )
-    elif args.which == "resources":
-        for point in resource_sweep():
-            m = point.metrics
-            print(
-                f"{point.label:14s} fixed={m['max_batch_fixed_buffer']:7.2f}x "
-                f"added={m['max_batch_added_buffer']:7.2f}x "
-                f"intensity={m['intensity']:9.0f}"
-            )
-    else:
-        for width, rows in register_sweep().items():
-            for point in rows:
-                print(f"{point.label:22s} speedup={point.metrics['speedup']:7.2f}x")
-    session.finish(which=args.which)
+                for point in rows:
+                    print(f"{point.label:22s} speedup={point.metrics['speedup']:7.2f}x")
+        session.finish(which=args.which)
     return 0
 
 
@@ -472,26 +555,20 @@ def cmd_table(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.core.batching import batch_for
-    from repro.core.designs import design_by_name
+    from repro import api
     from repro.core.report import (
         layer_records,
         simulation_record,
         to_csv,
         to_json,
     )
-    from repro.device.cells import Technology, library_for
-    from repro.estimator.arch_level import estimate_npu
-    from repro.simulator.engine import simulate
     from repro.simulator.power import power_report
-    from repro.workloads.models import by_name
 
-    config = design_by_name(args.design)
-    network = by_name(args.workload)
-    library = library_for(Technology(args.technology))
-    estimate = estimate_npu(config, library)
-    batch = args.batch or batch_for(config, network)
-    run = simulate(config, network, batch=batch, estimate=estimate)
+    config = _resolve_design(args)
+    network = api.workload(args.workload)
+    library = api.library(args.technology)
+    estimate = api.estimate(config, technology=library)
+    run = api.simulate(config, network, batch=args.batch, technology=library)
     if args.layers:
         records = layer_records(run)
         print(to_csv(records) if args.format == "csv" else to_json(records))
@@ -548,21 +625,29 @@ def cmd_energy(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from repro.core.compare import compare, phase_deltas, winner
-    from repro.core.config_io import load
-    from repro.core.designs import design_by_name
-    from repro.workloads.models import by_name
+    from repro import api
+    from repro.core.compare import comparison_records, phase_deltas, winner
 
-    configs = []
-    for spec in args.designs:
-        if spec.endswith(".json"):
-            configs.append(load(spec))
-        else:
-            configs.append(design_by_name(spec))
-    workloads = [by_name(w) for w in args.workloads.split(",")] if args.workloads else None
+    configs = [api.design(spec) for spec in args.designs]
+    workloads = args.workloads.split(",") if args.workloads else None
     session = _ObsSession(args, "compare")
-    columns = compare(configs, workloads=workloads)
+    with _jobs_session(args):
+        columns = api.compare(configs, workloads=workloads)
+        if args.json:
+            data = {"columns": comparison_records(columns),
+                    "winner": winner(columns).config.name}
+            if len(columns) > 1:
+                data["phase_deltas"] = phase_deltas(columns)
+            _print_envelope("compare", data,
+                            designs=",".join(c.config.name for c in columns))
+            session.finish(designs=",".join(c.config.name for c in columns))
+            return 0
+        _print_compare_tables(columns, winner, phase_deltas)
+        session.finish(designs=",".join(c.config.name for c in columns))
+    return 0
 
+
+def _print_compare_tables(columns, winner, phase_deltas) -> None:
     workload_names = list(columns[0].throughput_tmacs)
     widths = [16, 8, 8, 10, 10] + [10] * len(workload_names)
     print(_fmt_row(
@@ -596,8 +681,6 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 + [f"{delta:+,}"],
                 widths,
             ))
-    session.finish(designs=",".join(c.config.name for c in columns))
-    return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -605,15 +688,16 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     only = args.only.split(",") if args.only else None
     session = _ObsSession(args, "reproduce")
-    results = reproduce_all(
-        out_dir=args.out, only=only, include_extensions=args.extensions
-    )
-    for name in results:
-        marker = f"-> {args.out}/{name}.json" if args.out else "(in memory)"
-        print(f"  {name:28s} {marker}")
-    available = len(EXPERIMENTS) + (len(EXTENSIONS) if args.extensions else 0)
-    print(f"{len(results)} of {available} experiments regenerated")
-    session.finish(experiments=",".join(results))
+    with _jobs_session(args):
+        results = reproduce_all(
+            out_dir=args.out, only=only, include_extensions=args.extensions
+        )
+        for name in results:
+            marker = f"-> {args.out}/{name}.json" if args.out else "(in memory)"
+            print(f"  {name:28s} {marker}")
+        available = len(EXPERIMENTS) + (len(EXTENSIONS) if args.extensions else 0)
+        print(f"{len(results)} of {available} experiments regenerated")
+        session.finish(experiments=",".join(results))
     return 0
 
 
@@ -641,12 +725,11 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.core.designs import design_by_name
+    from repro import api
     from repro.simulator.trace import trace_layer, trace_summary, trace_to_csv
-    from repro.workloads.models import by_name
 
-    config = design_by_name(args.design)
-    network = by_name(args.workload)
+    config = _resolve_design(args)
+    network = api.workload(args.workload)
     matches = [l for l in network.layers if l.name == args.layer]
     if not matches:
         names = ", ".join(l.name for l in network.layers[:12])
@@ -663,12 +746,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.jobs import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache [{cache.root}]: removed {removed} entries")
+        return 0
+    stats = cache.stats()
+    print(f"cache [{cache.root}]")
+    print(f"  entries : {stats.entries}")
+    print(f"  size    : {stats.bytes / 1024:.1f} KiB")
+    for kind in sorted(stats.by_kind):
+        print(f"  {kind:14s}: {stats.by_kind[kind]}")
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of this run "
                              "(open in Perfetto / chrome://tracing)")
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write this run's metrics snapshot + manifest as JSON")
+
+
+def _add_jobs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel simulation worker processes "
+                             "(default 1 = serial; results are identical)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache directory; "
+                             "warm re-runs skip simulation entirely")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir for this run")
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON envelope "
+                             '({"command", "design", "workload", "data", '
+                             '"manifest"}) instead of tables')
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -682,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("design", nargs="?", default="supernpu")
     p_est.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
     p_est.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    _add_json_flag(p_est)
     p_est.set_defaults(func=cmd_estimate)
 
     p_sim = sub.add_parser("simulate", help="cycle-level simulation of one workload")
@@ -691,6 +810,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
     p_sim.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
     _add_obs_flags(p_sim)
+    _add_jobs_flags(p_sim)
+    _add_json_flag(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_prof = sub.add_parser(
@@ -738,6 +859,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_eval = sub.add_parser("evaluate", help="full Fig. 23 speedup comparison")
     _add_obs_flags(p_eval)
+    _add_jobs_flags(p_eval)
+    _add_json_flag(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_val = sub.add_parser("validate", help="Fig. 13 model validation")
@@ -748,6 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--plot", action="store_true",
                          help="render the sweep as an ASCII chart")
     _add_obs_flags(p_sweep)
+    _add_jobs_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_table = sub.add_parser("table", help="print Table I / II / III")
@@ -762,6 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--format", choices=["json", "csv"], default="json")
     p_report.add_argument("--layers", action="store_true",
                           help="emit per-layer records instead of the summary")
+    p_report.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
     p_report.set_defaults(func=cmd_report)
 
     p_compare = sub.add_parser("compare", help="side-by-side design comparison")
@@ -770,6 +895,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--workloads", default=None,
                            help="comma-separated workload names (default: all six)")
     _add_obs_flags(p_compare)
+    _add_jobs_flags(p_compare)
+    _add_json_flag(p_compare)
     p_compare.set_defaults(func=cmd_compare)
 
     p_repro = sub.add_parser("reproduce", help="run every figure/table experiment")
@@ -779,6 +906,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--extensions", action="store_true",
                          help="also run the ext_* extension studies")
     _add_obs_flags(p_repro)
+    _add_jobs_flags(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 
     p_workloads = sub.add_parser("workloads", help="list the benchmark networks")
@@ -790,7 +918,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("layer")
     p_trace.add_argument("--batch", type=int, default=1)
     p_trace.add_argument("--format", choices=["summary", "csv"], default="summary")
+    p_trace.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_cache = sub.add_parser("cache", help="inspect or empty a result cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--cache-dir", metavar="DIR", required=True,
+                         help="the cache directory to inspect / clear")
+    p_cache.set_defaults(func=cmd_cache)
 
     return parser
 

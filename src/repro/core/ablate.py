@@ -19,9 +19,8 @@ from typing import Dict, List, Optional
 
 from repro.core.batching import derived_batch
 from repro.core.designs import supernpu
+from repro.core.jobs import JobRunner, SimTask, get_runner
 from repro.device.cells import CellLibrary, Technology, library_for
-from repro.estimator.arch_level import estimate_npu
-from repro.simulator.engine import simulate
 from repro.uarch.config import MIB, NPUConfig
 from repro.workloads.models import Network, all_workloads
 
@@ -75,19 +74,28 @@ def ablation_study(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
     base: Optional[NPUConfig] = None,
+    runner: Optional[JobRunner] = None,
 ) -> List[AblationRow]:
     """Run the one-factor ablation; rows sorted by damage, worst first."""
+    runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
     configs = ablated_configs(base)
 
+    tasks = [
+        SimTask(config, network, derived_batch(config, network), library)
+        for config in configs.values()
+        for network in workloads
+    ]
+    results = runner.run(tasks)
+
     means: Dict[str, float] = {}
-    for key, config in configs.items():
-        estimate = estimate_npu(config, library)
+    cursor = 0
+    for key in configs:
         total = 0.0
-        for network in workloads:
-            batch = derived_batch(config, network)
-            total += simulate(config, network, batch=batch, estimate=estimate).mac_per_s
+        for _ in workloads:
+            total += results[cursor].mac_per_s
+            cursor += 1
         means[key] = total / len(workloads)
 
     full = means["SuperNPU"]

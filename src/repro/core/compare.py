@@ -12,10 +12,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.batching import batch_for
+from repro.core.jobs import JobRunner, SimTask, get_runner
 from repro.device.cells import CellLibrary, Technology, library_for
-from repro.estimator.arch_level import estimate_npu
 from repro.simulator.attribution import PHASE_ORDER, phase_cycle_totals
-from repro.simulator.engine import simulate
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network, all_workloads
 
@@ -46,19 +45,33 @@ def compare(
     configs: List[NPUConfig],
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
+    runner: Optional[JobRunner] = None,
 ) -> List[ComparisonColumn]:
-    """Score every config on every workload (Table II / derived batches)."""
+    """Score every config on every workload (Table II / derived batches).
+
+    The whole config x workload grid is submitted to the runner as one
+    task list, so comparisons parallelize and cache per design point.
+    """
     if not configs:
         raise ValueError("need at least one design to compare")
     names = [config.name for config in configs]
     if len(set(names)) != len(names):
         raise ValueError(f"design names must be unique, got {names}")
+    runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
 
+    tasks = [
+        SimTask(config, network, batch_for(config, network), library)
+        for config in configs
+        for network in workloads
+    ]
+    results = runner.run(tasks)
+
     columns: List[ComparisonColumn] = []
+    cursor = 0
     for config in configs:
-        estimate = estimate_npu(config, library)
+        estimate = runner.estimate(config, library)
         column = ComparisonColumn(
             config=config,
             frequency_ghz=estimate.frequency_ghz,
@@ -67,10 +80,10 @@ def compare(
             static_power_w=estimate.static_power_w,
         )
         for network in workloads:
-            batch = batch_for(config, network)
-            run = simulate(config, network, batch=batch, estimate=estimate)
+            run = results[cursor]
+            cursor += 1
             column.throughput_tmacs[network.name] = run.tmacs
-            column.batches[network.name] = batch
+            column.batches[network.name] = run.batch
             for phase, cycles in phase_cycle_totals(run).items():
                 column.phase_cycles[phase] = column.phase_cycles.get(phase, 0) + cycles
         columns.append(column)

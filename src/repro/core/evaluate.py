@@ -11,14 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE, simulate_cmos
+from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE
 from repro.cooling.cryocooler import PAPER_COOLER, Cryocooler
 from repro.core.batching import batch_for
 from repro.core.designs import all_designs
+from repro.core.jobs import JobRunner, SimTask, get_runner
 from repro.core.metrics import EfficiencyRow, efficiency_row
 from repro.device.cells import CellLibrary, Technology, library_for
-from repro.estimator.arch_level import NPUEstimate, estimate_npu
-from repro.simulator.engine import simulate
+from repro.estimator.arch_level import NPUEstimate
 from repro.simulator.power import PowerReport, power_report
 from repro.simulator.results import SimulationResult
 from repro.uarch.config import NPUConfig
@@ -74,15 +74,19 @@ def evaluate_design(
     config: NPUConfig,
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
+    runner: Optional[JobRunner] = None,
 ) -> DesignEvaluation:
     """Simulate every workload on one design point (Table II batches)."""
+    runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
-    estimate = estimate_npu(config, library)
+    estimate = runner.estimate(config, library)
     evaluation = DesignEvaluation(config=config, estimate=estimate)
-    for network in workloads:
-        batch = batch_for(config, network)
-        run = simulate(config, network, batch=batch, estimate=estimate)
+    tasks = [
+        SimTask(config, network, batch_for(config, network), library)
+        for network in workloads
+    ]
+    for network, run in zip(workloads, runner.run(tasks)):
         evaluation.runs[network.name] = run
         evaluation.power[network.name] = power_report(run, estimate)
     return evaluation
@@ -93,19 +97,46 @@ def evaluate_suite(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
     tpu: CMOSNPUConfig = TPU_CORE,
+    runner: Optional[JobRunner] = None,
 ) -> EvaluationSuite:
-    """Run the whole Fig. 23 comparison."""
+    """Run the whole Fig. 23 comparison.
+
+    All TPU-baseline and SFQ design-point simulations are submitted to
+    the runner as one task list, so ``jobs > 1`` parallelizes the entire
+    design x workload grid at once.
+    """
     from repro.core.batching import paper_batch
 
+    runner = runner or get_runner()
+    library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
-    tpu_runs = {
-        network.name: simulate_cmos(tpu, network, batch=paper_batch(tpu.name, network.name))
+    configs = list(designs) if designs is not None else all_designs()
+
+    tasks = [
+        SimTask(tpu, network, paper_batch(tpu.name, network.name))
         for network in workloads
-    }
-    design_evals = [
-        evaluate_design(config, workloads, library)
-        for config in (designs if designs is not None else all_designs())
     ]
+    for config in configs:
+        tasks.extend(
+            SimTask(config, network, batch_for(config, network), library)
+            for network in workloads
+        )
+    results = runner.run(tasks)
+
+    tpu_runs = {
+        network.name: results[index] for index, network in enumerate(workloads)
+    }
+    design_evals = []
+    cursor = len(workloads)
+    for config in configs:
+        estimate = runner.estimate(config, library)
+        evaluation = DesignEvaluation(config=config, estimate=estimate)
+        for network in workloads:
+            run = results[cursor]
+            cursor += 1
+            evaluation.runs[network.name] = run
+            evaluation.power[network.name] = power_report(run, estimate)
+        design_evals.append(evaluation)
     return EvaluationSuite(tpu_config=tpu, tpu_runs=tpu_runs, designs=design_evals)
 
 

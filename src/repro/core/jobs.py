@@ -1,0 +1,470 @@
+"""Parallel execution + content-addressed result caching for evaluation.
+
+Every paper-scale experiment (``evaluate``, ``sweep``, ``compare``,
+``search``, ``ablate``) boils down to a fan-out of independent, fully
+deterministic ``(config, network, batch, library)`` simulations.  This
+module turns that fan-out into an explicit job layer:
+
+* :class:`SimTask` — one design-point simulation, SFQ or CMOS-baseline;
+* :class:`ResultCache` — a content-addressed on-disk store keyed by a
+  stable hash of the config, the workload's full layer content, the
+  batch, the cell-library fingerprint, and a cache-schema version, so a
+  warm re-run skips simulation entirely and any change to any key
+  component is automatically a miss;
+* :class:`JobRunner` — executes a task list serially (the default, for
+  determinism-by-default) or over a ``ProcessPoolExecutor`` when
+  ``jobs > 1``, consulting the cache either way.
+
+Results are *always* materialized from the serialized payload — whether
+they came from the simulator, a worker process, or the cache — so serial,
+parallel, and warm-cache runs are bitwise-identical by construction.
+
+The runner is ambient: library code calls :func:`get_runner` (a shared
+serial, cache-less default) and the CLI / API install a configured one
+with :func:`use_runner` or :func:`session`::
+
+    with session(jobs=4, cache_dir="~/.cache/supernpu") as runner:
+        suite = evaluate_suite()          # fans out through the runner
+
+Cache hit/miss and parallel-speedup counters are exported through the
+``repro.obs`` metrics registry (``jobs.cache.hits``, ``jobs.cache.misses``,
+``jobs.sim.executed``, ``jobs.parallel.speedup``, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.baselines.scalesim import CMOSNPUConfig, simulate_cmos
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.estimator.uarch_level import UnitEstimate
+from repro.simulator.engine import simulate
+from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network
+
+#: Bump whenever the simulator, the estimator, or the payload layout
+#: changes meaning: old cache entries become unreachable (their keys no
+#: longer match), never silently wrong.
+CACHE_SCHEMA_VERSION = 1
+
+
+# -- stable content hashing ------------------------------------------------
+
+def _canonical_hash(document: Any) -> str:
+    """sha256 (hex) of the canonical sorted-key JSON of ``document``."""
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def workload_signature(network: Network) -> Dict[str, Any]:
+    """The workload's full content (name + every layer field).
+
+    Editing any layer of a network — not just renaming it — must change
+    the cache key, so the signature covers the complete layer tuples.
+    """
+    return {
+        "name": network.name,
+        "layers": [dataclasses.asdict(layer) for layer in network.layers],
+    }
+
+
+def library_fingerprint(library: CellLibrary) -> Dict[str, Any]:
+    """Cache-relevant content of a cell library (technology, process, cells)."""
+    return {
+        "technology": library.technology.value,
+        "process": dataclasses.asdict(library.process),
+        "cells": {name: dataclasses.asdict(library[name]) for name in library.names},
+    }
+
+
+# -- tasks -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimTask:
+    """One design-point simulation: SFQ (``NPUConfig``) or CMOS baseline.
+
+    ``library`` selects the SFQ cell library (default: calibrated RSFQ)
+    and is ignored for CMOS-baseline configs, whose cycle model has no
+    cell library.
+    """
+
+    config: Union[NPUConfig, CMOSNPUConfig]
+    network: Network
+    batch: int
+    library: Optional[CellLibrary] = None
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be positive")
+
+    @property
+    def is_cmos(self) -> bool:
+        return not isinstance(self.config, NPUConfig)
+
+    def resolved_library(self) -> Optional[CellLibrary]:
+        if self.is_cmos:
+            return None
+        return self.library or library_for(Technology.RSFQ)
+
+    def key(self) -> str:
+        """Content-addressed cache key of this task."""
+        library = self.resolved_library()
+        return _canonical_hash({
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": "simulate_cmos" if self.is_cmos else "simulate",
+            "config": dataclasses.asdict(self.config),
+            "workload": workload_signature(self.network),
+            "batch": self.batch,
+            "library": None if library is None else library_fingerprint(library),
+        })
+
+
+def estimate_key(config: NPUConfig, library: CellLibrary) -> str:
+    """Cache key of one architecture-level estimation."""
+    return _canonical_hash({
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "estimate",
+        "config": dataclasses.asdict(config),
+        "library": library_fingerprint(library),
+    })
+
+
+# -- payload codecs --------------------------------------------------------
+#
+# Cached payloads are plain JSON dicts; these codecs round-trip the result
+# records exactly (Python's json preserves ints and floats bit-exactly),
+# which is what makes warm-cache runs bitwise-identical to cold ones.
+
+def result_to_dict(run: SimulationResult) -> Dict[str, Any]:
+    return {
+        "design": run.design,
+        "network": run.network,
+        "batch": run.batch,
+        "frequency_ghz": run.frequency_ghz,
+        "layers": [dataclasses.asdict(layer) for layer in run.layers],
+        "activity": dict(run.activity.effective_cycles),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    return SimulationResult(
+        design=data["design"],
+        network=data["network"],
+        batch=data["batch"],
+        frequency_ghz=data["frequency_ghz"],
+        layers=[LayerResult(**layer) for layer in data["layers"]],
+        activity=ActivityTrace(effective_cycles=dict(data["activity"])),
+    )
+
+
+def estimate_to_dict(estimate: NPUEstimate) -> Dict[str, Any]:
+    return {
+        "config": dataclasses.asdict(estimate.config),
+        "technology": estimate.technology,
+        "frequency_ghz": estimate.frequency_ghz,
+        "cycle_time_ps": estimate.cycle_time_ps,
+        "critical_path": estimate.critical_path,
+        "units": {name: dataclasses.asdict(unit) for name, unit in estimate.units.items()},
+        "wiring_area_mm2": estimate.wiring_area_mm2,
+        "wiring_static_power_w": estimate.wiring_static_power_w,
+    }
+
+
+def estimate_from_dict(data: Dict[str, Any]) -> NPUEstimate:
+    return NPUEstimate(
+        config=NPUConfig(**data["config"]),
+        technology=data["technology"],
+        frequency_ghz=data["frequency_ghz"],
+        cycle_time_ps=data["cycle_time_ps"],
+        critical_path=data["critical_path"],
+        units={name: UnitEstimate(**unit) for name, unit in data["units"].items()},
+        wiring_area_mm2=data["wiring_area_mm2"],
+        wiring_static_power_w=data["wiring_static_power_w"],
+    )
+
+
+# -- the on-disk cache -----------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Size of an on-disk result cache."""
+
+    entries: int
+    bytes: int
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class ResultCache:
+    """Content-addressed store of simulation / estimation payloads.
+
+    One JSON file per entry under ``root/<key[:2]>/<key>.json``; writes
+    are atomic (tmp file + ``os.replace``) so concurrent runners sharing
+    a cache directory never observe torn entries.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload, or None on miss / unreadable entry."""
+        path = self._path(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if document.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return document.get("payload")
+
+    def put(self, key: str, payload: Dict[str, Any], kind: str = "simulate") -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "created_unix": time.time(),
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        by_kind: Dict[str, int] = {}
+        for path in self._entries():
+            entries += 1
+            total_bytes += path.stat().st_size
+            try:
+                kind = json.loads(path.read_text(encoding="utf-8")).get("kind", "?")
+            except (OSError, ValueError):
+                kind = "corrupt"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return CacheStats(entries=entries, bytes=total_bytes, by_kind=by_kind)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            path.unlink()
+            removed += 1
+        for bucket in sorted(self.root.glob("*")):
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+        return removed
+
+
+# -- task execution (top-level so it pickles into worker processes) --------
+
+#: Per-worker-process memo of architecture estimates, so a worker handed
+#: many tasks for the same design computes its clock model once.
+_WORKER_ESTIMATES: Dict[str, NPUEstimate] = {}
+
+
+def _estimate_for(config: NPUConfig, library: CellLibrary) -> NPUEstimate:
+    key = estimate_key(config, library)
+    cached = _WORKER_ESTIMATES.get(key)
+    if cached is None:
+        cached = _WORKER_ESTIMATES[key] = estimate_npu(config, library)
+    return cached
+
+
+def _execute(task: SimTask) -> Tuple[Dict[str, Any], float]:
+    """Run one task; returns (serialized result payload, wall seconds)."""
+    start = time.perf_counter()
+    if task.is_cmos:
+        run = simulate_cmos(task.config, task.network, batch=task.batch)
+    else:
+        library = task.resolved_library()
+        run = simulate(
+            task.config, task.network, batch=task.batch,
+            estimate=_estimate_for(task.config, library),
+        )
+    return result_to_dict(run), time.perf_counter() - start
+
+
+# -- the runner ------------------------------------------------------------
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting of one runner's lifetime."""
+
+    tasks: int = 0
+    hits: int = 0
+    misses: int = 0
+    executed: int = 0
+    task_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.tasks if self.tasks else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Sum of per-task sim time over elapsed wall time (1.0 serial)."""
+        if self.elapsed_seconds <= 0:
+            return 1.0
+        return self.task_seconds / self.elapsed_seconds
+
+    def describe(self) -> str:
+        return (
+            f"{self.tasks} tasks: {self.hits} cache hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.1f}% hit rate), {self.executed} simulated"
+        )
+
+
+class JobRunner:
+    """Executes :class:`SimTask` lists with optional parallelism + caching.
+
+    ``jobs=1`` (the default) runs everything in-process; ``jobs > 1``
+    fans cache misses out over a ``ProcessPoolExecutor``.  Task order is
+    preserved, and results are materialized from serialized payloads in
+    every mode, so the output is identical regardless of ``jobs`` or
+    cache temperature.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = RunnerStats()
+        self._estimates: Dict[str, NPUEstimate] = {}
+
+    # -- simulations --------------------------------------------------
+    def run(self, tasks: Sequence[SimTask]) -> List[SimulationResult]:
+        """Run every task (cache-first), preserving task order."""
+        started = time.perf_counter()
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        keys = [task.key() for task in tasks]
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                payloads[index] = cached
+            else:
+                pending.append(index)
+        hits = len(tasks) - len(pending)
+
+        task_seconds = 0.0
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    chunksize = max(1, len(pending) // (4 * workers))
+                    executed = pool.map(
+                        _execute, [tasks[i] for i in pending], chunksize=chunksize
+                    )
+                    for index, (payload, seconds) in zip(pending, executed):
+                        payloads[index] = payload
+                        task_seconds += seconds
+            else:
+                for index in pending:
+                    payload, seconds = _execute(tasks[index])
+                    payloads[index] = payload
+                    task_seconds += seconds
+            if self.cache is not None:
+                for index in pending:
+                    kind = "simulate_cmos" if tasks[index].is_cmos else "simulate"
+                    self.cache.put(keys[index], payloads[index], kind=kind)
+
+        elapsed = time.perf_counter() - started
+        self._account(len(tasks), hits, len(pending), task_seconds, elapsed)
+        return [result_from_dict(payload) for payload in payloads]
+
+    def run_one(self, task: SimTask) -> SimulationResult:
+        return self.run([task])[0]
+
+    # -- estimates ----------------------------------------------------
+    def estimate(self, config: NPUConfig, library: Optional[CellLibrary] = None) -> NPUEstimate:
+        """Architecture-level estimate, memoized in-process and on disk."""
+        library = library or library_for(Technology.RSFQ)
+        key = estimate_key(config, library)
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        payload = self.cache.get(key) if self.cache is not None else None
+        if payload is not None:
+            obs.counter("jobs.estimate_cache.hits").inc()
+        else:
+            obs.counter("jobs.estimate_cache.misses").inc()
+            payload = estimate_to_dict(estimate_npu(config, library))
+            if self.cache is not None:
+                self.cache.put(key, payload, kind="estimate")
+        estimate = estimate_from_dict(payload)
+        self._estimates[key] = estimate
+        return estimate
+
+    # -- accounting ---------------------------------------------------
+    def _account(self, tasks: int, hits: int, executed: int,
+                 task_seconds: float, elapsed: float) -> None:
+        self.stats.tasks += tasks
+        self.stats.hits += hits
+        self.stats.misses += executed
+        self.stats.executed += executed
+        self.stats.task_seconds += task_seconds
+        self.stats.elapsed_seconds += elapsed
+        obs.counter("jobs.tasks").add(tasks)
+        obs.counter("jobs.cache.hits").add(hits)
+        obs.counter("jobs.cache.misses").add(executed)
+        obs.counter("jobs.sim.executed").add(executed)
+        obs.gauge("jobs.workers").set(self.jobs)
+        obs.histogram("jobs.batch_seconds").observe(elapsed)
+        if executed and elapsed > 0:
+            obs.gauge("jobs.parallel.speedup").set(task_seconds / elapsed)
+
+
+# -- the ambient runner ----------------------------------------------------
+
+_DEFAULT_RUNNER = JobRunner()
+_ACTIVE: List[JobRunner] = []
+
+
+def get_runner() -> JobRunner:
+    """The innermost installed runner, or the shared serial default."""
+    return _ACTIVE[-1] if _ACTIVE else _DEFAULT_RUNNER
+
+
+@contextmanager
+def use_runner(runner: JobRunner) -> Iterator[JobRunner]:
+    """Install ``runner`` as the ambient runner for the enclosed block."""
+    _ACTIVE.append(runner)
+    try:
+        yield runner
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def session(jobs: int = 1, cache_dir: Optional[Union[str, Path]] = None,
+            cache: Optional[ResultCache] = None) -> Iterator[JobRunner]:
+    """Build a runner from knobs and install it (the CLI's entry point)."""
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    with use_runner(JobRunner(jobs=jobs, cache=cache)) as runner:
+        yield runner

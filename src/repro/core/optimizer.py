@@ -18,9 +18,8 @@ from typing import Dict, List, Optional
 
 from repro.core.batching import derived_batch
 from repro.core.designs import baseline, buffer_opt
+from repro.core.jobs import SimTask, get_runner
 from repro.device.cells import CellLibrary, Technology, library_for
-from repro.estimator.arch_level import estimate_npu
-from repro.simulator.engine import simulate
 from repro.uarch.config import MIB, NPUConfig
 from repro.uarch.pe import ProcessingElement
 from repro.workloads.models import Network, all_workloads
@@ -41,12 +40,14 @@ def _mean_mac_per_s(
     library: CellLibrary,
     batch: Optional[int] = None,
 ) -> float:
-    estimate = estimate_npu(config, library)
-    total = 0.0
-    for network in workloads:
-        b = batch if batch is not None else derived_batch(config, network)
-        total += simulate(config, network, batch=b, estimate=estimate).mac_per_s
-    return total / len(workloads)
+    tasks = [
+        SimTask(config, network,
+                batch if batch is not None else derived_batch(config, network),
+                library)
+        for network in workloads
+    ]
+    runs = get_runner().run(tasks)
+    return sum(run.mac_per_s for run in runs) / len(workloads)
 
 
 @dataclass
@@ -69,7 +70,7 @@ def buffer_sweep(
 
     base = baseline()
     base_perf = _mean_mac_per_s(base, workloads, library, batch=1)
-    base_area = estimate_npu(base, library).area_mm2
+    base_area = get_runner().estimate(base, library).area_mm2
 
     points = [
         SweepPoint(
@@ -86,7 +87,7 @@ def buffer_sweep(
         )
         single = _mean_mac_per_s(config, workloads, library, batch=1)
         max_batch = _mean_mac_per_s(config, workloads, library)
-        area = estimate_npu(config, library).area_mm2
+        area = get_runner().estimate(config, library).area_mm2
         label = "+Integration (Division 2)" if division == 2 else f"+Division {division}"
         points.append(
             SweepPoint(

@@ -17,10 +17,9 @@ from typing import List, Optional, Sequence
 
 from repro import obs
 from repro.core.batching import derived_batch
+from repro.core.jobs import JobRunner, SimTask, get_runner
 from repro.core.optimizer import resource_config
 from repro.device.cells import CellLibrary, Technology, library_for
-from repro.estimator.arch_level import estimate_npu
-from repro.simulator.engine import simulate
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network, all_workloads
 
@@ -70,10 +69,17 @@ def search(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
     area_budget_mm2: float = AREA_BUDGET_MM2,
+    runner: Optional[JobRunner] = None,
 ) -> List[Candidate]:
-    """Exhaustive sweep; returns in-budget candidates, best first."""
+    """Exhaustive sweep; returns in-budget candidates, best first.
+
+    The full candidate x workload grid goes to the runner as one task
+    list — the search is embarrassingly parallel and every design point
+    is individually cacheable.
+    """
     if area_budget_mm2 <= 0:
         raise ValueError("area budget must be positive")
+    runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
 
@@ -85,24 +91,31 @@ def search(
     ]
     candidates: List[Candidate] = []
     with obs.trace_span("search", points=len(points)):
-        for done, (width, division, regs) in enumerate(points):
+        entries = []
+        for width, division, regs in points:
             config = _candidate_config(width, division, regs, library)
             with obs.trace_span("search/candidate", design=config.name):
-                estimate = estimate_npu(config, library)
-                area = estimate.area_mm2_scaled()
-                total = 0.0
-                for network in workloads:
-                    batch = derived_batch(config, network)
-                    run = simulate(config, network, batch=batch, estimate=estimate)
-                    total += run.mac_per_s
-                candidates.append(
-                    Candidate(
-                        config=config,
-                        mean_mac_per_s=total / len(workloads),
-                        area_mm2_28nm=area,
-                        peak_tmacs=estimate.peak_tmacs,
-                    )
+                entries.append((config, runner.estimate(config, library)))
+        tasks = [
+            SimTask(config, network, derived_batch(config, network), library)
+            for config, _ in entries
+            for network in workloads
+        ]
+        results = runner.run(tasks)
+        cursor = 0
+        for done, (config, estimate) in enumerate(entries):
+            total = 0.0
+            for _ in workloads:
+                total += results[cursor].mac_per_s
+                cursor += 1
+            candidates.append(
+                Candidate(
+                    config=config,
+                    mean_mac_per_s=total / len(workloads),
+                    area_mm2_28nm=estimate.area_mm2_scaled(),
+                    peak_tmacs=estimate.peak_tmacs,
                 )
+            )
             obs.counter("search.candidates_evaluated").inc()
             obs.gauge("search.progress").set((done + 1) / len(points))
     feasible = [c for c in candidates if c.area_mm2_28nm <= area_budget_mm2]

@@ -10,13 +10,16 @@ resident batch" policy exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.device.cells import CellLibrary
-from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.estimator.arch_level import NPUEstimate
 from repro.simulator.engine import simulate
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network
+
+if TYPE_CHECKING:  # jobs imports the simulator; avoid the import cycle here
+    from repro.core.jobs import JobRunner
 
 
 @dataclass(frozen=True)
@@ -42,24 +45,35 @@ def batch_sweep(
     batches: Sequence[int] = (1, 2, 4, 8, 16, 30),
     estimate: Optional[NPUEstimate] = None,
     library: Optional[CellLibrary] = None,
+    runner: Optional["JobRunner"] = None,
 ) -> List[BatchPoint]:
-    """Simulate ``network`` at each batch size."""
+    """Simulate ``network`` at each batch size.
+
+    The sweep goes through the ambient (or given) job runner, so the
+    per-batch simulations parallelize and cache.  Passing an explicit
+    ``estimate`` bypasses the runner: a hand-built estimate is not
+    reconstructible from a cache key, so those runs are simulated
+    directly, serially.
+    """
     if not batches:
         raise ValueError("need at least one batch size")
     if any(b < 1 for b in batches):
         raise ValueError("batch sizes must be positive")
-    if estimate is None:
-        if library is None:
-            from repro.device.cells import rsfq_library
+    if estimate is not None:
+        return [
+            _point(simulate(config, network, batch=batch, estimate=estimate))
+            for batch in batches
+        ]
+    from repro.core.jobs import SimTask, get_runner
 
-            library = rsfq_library()
-        estimate = estimate_npu(config, library)
-    points = []
-    for batch in batches:
-        run = simulate(config, network, batch=batch, estimate=estimate)
-        points.append(BatchPoint(batch=batch, mac_per_s=run.mac_per_s,
-                                 latency_s=run.latency_s))
-    return points
+    runner = runner or get_runner()
+    tasks = [SimTask(config, network, batch, library) for batch in batches]
+    return [_point(run) for run in runner.run(tasks)]
+
+
+def _point(run) -> BatchPoint:
+    return BatchPoint(batch=run.batch, mac_per_s=run.mac_per_s,
+                      latency_s=run.latency_s)
 
 
 def knee_batch(points: List[BatchPoint], threshold: float = 0.10) -> int:

@@ -315,3 +315,152 @@ def test_bottleneck_leaves_obs_disabled():
     assert main(["bottleneck", "baseline", "alexnet", "--batch", "1"]) == 0
     assert not obs.enabled()
     assert obs.metrics().is_empty()
+
+
+# -- the JSON envelope -----------------------------------------------------
+
+ENVELOPE_KEYS = {"command", "design", "workload", "data", "manifest"}
+
+
+def _json_out(capsys):
+    import json
+
+    return json.loads(capsys.readouterr().out)
+
+
+def test_estimate_json_envelope(capsys):
+    assert main(["estimate", "supernpu", "--json"]) == 0
+    doc = _json_out(capsys)
+    assert set(doc) == ENVELOPE_KEYS
+    assert doc["command"] == "estimate" and doc["design"] == "SuperNPU"
+    assert doc["workload"] is None
+    assert abs(doc["data"]["frequency_ghz"] - 52.6) < 0.1
+    assert doc["manifest"]["command"] == "estimate"
+
+
+def test_simulate_json_envelope(capsys):
+    assert main(["simulate", "baseline", "alexnet", "--batch", "2", "--json"]) == 0
+    doc = _json_out(capsys)
+    assert set(doc) == ENVELOPE_KEYS
+    assert doc["design"] == "Baseline" and doc["workload"] == "AlexNet"
+    assert doc["data"]["batch"] == 2
+    assert doc["data"]["total_cycles"] > 0
+
+
+def test_evaluate_json_envelope(capsys):
+    assert main(["evaluate", "--json"]) == 0
+    doc = _json_out(capsys)
+    assert set(doc) == ENVELOPE_KEYS
+    assert doc["command"] == "evaluate"
+    assert doc["data"]["workloads"][-1] == "Average"
+    assert doc["data"]["speedups"]["SuperNPU"]["Average"] > 1
+
+
+def test_compare_json_envelope(capsys):
+    assert main(["compare", "baseline", "supernpu",
+                 "--workloads", "alexnet", "--json"]) == 0
+    doc = _json_out(capsys)
+    assert set(doc) == ENVELOPE_KEYS
+    assert doc["data"]["winner"] == "SuperNPU"
+    assert len(doc["data"]["columns"]) == 2
+    assert doc["data"]["phase_deltas"]
+
+
+# -- jobs / caching flags --------------------------------------------------
+
+def test_simulate_cache_flags(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["simulate", "baseline", "alexnet", "--batch", "1", "--cache-dir", cache]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0 cache hits / 1 misses" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "1 cache hits / 0 misses" in warm and "0 simulated" in warm
+    # Identical results, modulo the cache-summary line.
+    strip = lambda s: [l for l in s.splitlines() if not l.startswith("cache [")]  # noqa: E731
+    assert strip(warm) == strip(cold)
+
+
+def test_simulate_no_cache_flag(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["simulate", "baseline", "alexnet", "--batch", "1",
+            "--cache-dir", cache, "--no-cache"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache [" not in out
+    assert not (tmp_path / "cache").exists()
+
+
+def test_evaluate_parallel_matches_serial(capsys):
+    assert main(["evaluate"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["evaluate", "--jobs", "4"]) == 0
+    parallel = capsys.readouterr().out
+    stripped = [l for l in parallel.splitlines() if not l.startswith("jobs:")]
+    assert stripped == serial.splitlines()
+
+
+def test_json_keeps_stdout_clean(tmp_path, capsys):
+    import json
+
+    assert main(["evaluate", "--json", "--cache-dir", str(tmp_path / "c")]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # one parseable document, no summary lines
+    assert "cache [" in captured.err
+
+
+def test_cache_stats_and_clear_commands(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["simulate", "baseline", "alexnet", "--batch", "1",
+                 "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "entries : 2" in out  # one simulate + one estimate entry
+    assert "simulate" in out and "estimate" in out
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    assert "removed 2 entries" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "entries : 0" in capsys.readouterr().out
+
+
+def test_evaluate_metrics_report_cache_counters(tmp_path, capsys):
+    import json
+
+    cache = str(tmp_path / "cache")
+    cold_metrics = tmp_path / "cold.json"
+    warm_metrics = tmp_path / "warm.json"
+    assert main(["evaluate", "--cache-dir", cache,
+                 "--metrics-out", str(cold_metrics)]) == 0
+    assert main(["evaluate", "--cache-dir", cache,
+                 "--metrics-out", str(warm_metrics)]) == 0
+    cold = json.loads(cold_metrics.read_text())["metrics"]["counters"]
+    warm = json.loads(warm_metrics.read_text())["metrics"]["counters"]
+    assert cold["jobs.cache.misses"] == cold["jobs.tasks"]
+    assert warm["jobs.cache.hits"] == warm["jobs.tasks"]
+    assert warm["jobs.cache.misses"] == 0
+    assert warm.get("jobs.sim.executed", 0) == 0
+
+
+def test_report_config_file_flag(tmp_path, capsys):
+    from repro.core.config_io import save
+    from repro.core.designs import supernpu
+
+    path = tmp_path / "custom.json"
+    save(supernpu().with_updates(name="my-npu"), path)
+    assert main(["report", "supernpu", "alexnet", "--batch", "1",
+                 "--config-file", str(path)]) == 0
+    assert '"design": "my-npu"' in capsys.readouterr().out
+
+
+def test_trace_config_file_flag(tmp_path, capsys):
+    from repro.core.config_io import save
+    from repro.core.designs import baseline
+
+    path = tmp_path / "custom.json"
+    save(baseline().with_updates(name="my-npu"), path)
+    assert main(["trace", "baseline", "vgg16", "conv3_1",
+                 "--config-file", str(path)]) == 0
+    assert "my-npu / VGG16 / conv3_1" in capsys.readouterr().out
