@@ -48,6 +48,7 @@ from repro.core.jobs import (
     use_runner,
 )
 from repro.device.cells import CellLibrary, Technology, library_for
+from repro.errors import ConfigError, InvalidSpecError, InvalidWorkloadSpecError
 from repro.estimator.arch_level import NPUEstimate
 from repro.obs.timeline import CycleTimeline
 from repro.simulator.results import SimulationResult
@@ -99,9 +100,10 @@ def design(spec: DesignLike) -> NPUConfig:
         if spec.endswith(".json") or Path(spec).is_file():
             return _load_config(spec)
         return design_by_name(spec)
-    raise TypeError(
+    raise InvalidSpecError(
         f"cannot resolve a design from {type(spec).__name__}; "
-        "expected a name, dict, path, or NPUConfig"
+        "expected a name, dict, path, or NPUConfig",
+        got=type(spec).__name__,
     )
 
 
@@ -111,9 +113,10 @@ def workload(spec: WorkloadLike) -> Network:
         return spec
     if isinstance(spec, str):
         return by_name(spec)
-    raise TypeError(
+    raise InvalidWorkloadSpecError(
         f"cannot resolve a workload from {type(spec).__name__}; "
-        "expected a name or Network"
+        "expected a name or Network",
+        got=type(spec).__name__,
     )
 
 
@@ -124,10 +127,19 @@ def library(technology: TechnologyLike = "rsfq") -> CellLibrary:
     if isinstance(technology, Technology):
         return library_for(technology)
     if isinstance(technology, str):
-        return library_for(Technology(technology))
-    raise TypeError(
+        try:
+            resolved = Technology(technology)
+        except ValueError:
+            raise ConfigError(
+                f"unknown technology {technology!r}; "
+                f"known: {[t.value for t in Technology]}",
+                code="config.unknown_technology", name=technology,
+            ) from None
+        return library_for(resolved)
+    raise InvalidSpecError(
         f"cannot resolve a cell library from {type(technology).__name__}; "
-        "expected 'rsfq' / 'ersfq', a Technology, or a CellLibrary"
+        "expected 'rsfq' / 'ersfq', a Technology, or a CellLibrary",
+        got=type(technology).__name__,
     )
 
 

@@ -117,17 +117,30 @@ def _jobs_session(args: argparse.Namespace):
     """Install the job runner the command's --jobs/--cache-dir flags ask for.
 
     On exit, prints a one-line cache summary when a cache was in play, so
-    warm runs visibly report their hit rate.
+    warm runs visibly report their hit rate.  When a cache directory is
+    given, a checkpoint journal lives beside it
+    (``<cache>/checkpoints/<command>.journal``) so a killed run resumes.
     """
+    from pathlib import Path
+
     from repro.core import jobs
+    from repro.core.resilience import RetryPolicy
 
     workers = getattr(args, "jobs", None) or 1
     cache_dir = None
     if not getattr(args, "no_cache", False):
         cache_dir = getattr(args, "cache_dir", None)
+    checkpoint_path = None
+    if cache_dir is not None and getattr(args, "command", None):
+        checkpoint_path = (Path(cache_dir).expanduser() / "checkpoints"
+                           / f"{args.command}.journal")
+    retry = RetryPolicy(max_retries=getattr(args, "retries", 2))
+    timeout_s = getattr(args, "task_timeout", None)
     # Summary lines go to stderr under --json so stdout stays one document.
     stream = sys.stderr if getattr(args, "json", False) else sys.stdout
-    with jobs.session(jobs=workers, cache_dir=cache_dir) as runner:
+    with jobs.session(jobs=workers, cache_dir=cache_dir, retry=retry,
+                      timeout_s=timeout_s,
+                      checkpoint_path=checkpoint_path) as runner:
         yield runner
         if runner.cache is not None:
             print(f"cache [{runner.cache.root}]: {runner.stats.describe()}",
@@ -732,8 +745,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     network = api.workload(args.workload)
     matches = [l for l in network.layers if l.name == args.layer]
     if not matches:
+        from repro.errors import UnknownWorkloadError
+
         names = ", ".join(l.name for l in network.layers[:12])
-        raise KeyError(f"no layer {args.layer!r} in {network.name}; first layers: {names}")
+        raise UnknownWorkloadError(
+            f"no layer {args.layer!r} in {network.name}; first layers: {names}",
+            code="workload.unknown_layer", layer=args.layer, network=network.name,
+        )
     events = trace_layer(matches[0], config, batch=args.batch)
     if args.format == "csv":
         print(trace_to_csv(events), end="")
@@ -760,6 +778,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"  size    : {stats.bytes / 1024:.1f} KiB")
     for kind in sorted(stats.by_kind):
         print(f"  {kind:14s}: {stats.by_kind[kind]}")
+    if stats.quarantined:
+        print(f"  quarantined   : {stats.quarantined}")
     return 0
 
 
@@ -780,6 +800,13 @@ def _add_jobs_flags(parser: argparse.ArgumentParser) -> None:
                              "warm re-runs skip simulation entirely")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir for this run")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget per task for transient worker "
+                             "failures (default 2; 0 fails fast)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock limit per simulation task when "
+                             "--jobs > 1; a hung task is killed and retried")
 
 
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
@@ -794,6 +821,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="supernpu",
         description="SuperNPU: SFQ-based NPU modeling and simulation (MICRO 2020 reproduction)",
     )
+    parser.add_argument("--debug", action="store_true",
+                        help="show full tracebacks instead of one-line errors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_est = sub.add_parser("estimate", help="frequency / power / area of a design")
@@ -931,6 +960,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: List[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -938,6 +969,13 @@ def main(argv: List[str] | None = None) -> int:
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (e.g. head).
         return 0
+    except ReproError as error:
+        if args.debug:
+            raise
+        print(f"error: {error.message}", file=sys.stderr)
+        if error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.core.batching import batch_for
 from repro.core.jobs import JobRunner, SimTask, get_runner
 from repro.device.cells import CellLibrary, Technology, library_for
+from repro.errors import ConfigError
 from repro.simulator.attribution import PHASE_ORDER, phase_cycle_totals
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network, all_workloads
@@ -53,10 +54,12 @@ def compare(
     task list, so comparisons parallelize and cache per design point.
     """
     if not configs:
-        raise ValueError("need at least one design to compare")
+        raise ConfigError("need at least one design to compare",
+                          code="config.empty_comparison")
     names = [config.name for config in configs]
     if len(set(names)) != len(names):
-        raise ValueError(f"design names must be unique, got {names}")
+        raise ConfigError(f"design names must be unique, got {names}",
+                          code="config.duplicate_designs", names=names)
     runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()

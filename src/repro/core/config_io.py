@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.errors import ConfigError
 from repro.uarch.config import NPUConfig
 
 #: Fields accepted from JSON (exactly the dataclass's fields).
@@ -31,12 +32,18 @@ def config_from_dict(data: Dict[str, Any]) -> NPUConfig:
     """
     unknown = set(data) - _FIELDS
     if unknown:
-        raise ValueError(
-            f"unknown NPUConfig fields {sorted(unknown)}; known: {sorted(_FIELDS)}"
+        raise ConfigError(
+            f"unknown NPUConfig fields {sorted(unknown)}; known: {sorted(_FIELDS)}",
+            code="config.unknown_fields", hint="check for typos in the config JSON",
+            unknown=sorted(unknown),
         )
     if "name" not in data:
-        raise ValueError("a config needs a 'name'")
-    return NPUConfig(**data)
+        raise ConfigError("a config needs a 'name'", code="config.missing_name")
+    try:
+        return NPUConfig(**data)
+    except TypeError as error:
+        raise ConfigError(f"malformed config: {error}",
+                          code="config.malformed") from error
 
 
 def dumps(config: NPUConfig, indent: int = 2) -> str:
@@ -44,9 +51,14 @@ def dumps(config: NPUConfig, indent: int = 2) -> str:
 
 
 def loads(text: str) -> NPUConfig:
-    data = json.loads(text)
+    try:
+        data = json.loads(text)
+    except ValueError as error:
+        raise ConfigError(f"config is not valid JSON: {error}",
+                          code="config.invalid_json") from error
     if not isinstance(data, dict):
-        raise ValueError("config JSON must be an object")
+        raise ConfigError("config JSON must be an object",
+                          code="config.not_object")
     return config_from_dict(data)
 
 
@@ -55,4 +67,9 @@ def save(config: NPUConfig, path: Union[str, Path]) -> None:
 
 
 def load(path: Union[str, Path]) -> NPUConfig:
-    return loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigError(f"cannot read config file {path}: {error}",
+                          code="config.unreadable", path=str(path)) from error
+    return loads(text)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.errors import UnknownDesignError
 from repro.uarch.config import KIB, MIB, NPUConfig
 
 
@@ -114,4 +115,9 @@ def design_by_name(name: str) -> NPUConfig:
     key = aliases.get(key.replace(" ", "").replace(".", ""), key)
     if key in designs:
         return designs[key]
-    raise KeyError(f"unknown design {name!r}; known: {[d.name for d in all_designs()]}")
+    raise UnknownDesignError(
+        f"unknown design {name!r}; known: {[d.name for d in all_designs()]}",
+        hint="design names are case-insensitive; aliases like 'bufferopt' "
+             "and 'resource_opt' also resolve",
+        name=name, known=[d.name for d in all_designs()],
+    )

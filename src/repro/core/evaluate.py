@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE
 from repro.cooling.cryocooler import PAPER_COOLER, Cryocooler
+from repro.errors import UnknownDesignError
 from repro.core.batching import batch_for
 from repro.core.designs import all_designs
 from repro.core.jobs import JobRunner, SimTask, get_runner
@@ -67,7 +68,10 @@ class EvaluationSuite:
         for evaluation in self.designs:
             if evaluation.config.name == name:
                 return evaluation
-        raise KeyError(f"design {name!r} not in suite")
+        raise UnknownDesignError(
+            f"design {name!r} not in suite",
+            name=name, known=[d.config.name for d in self.designs],
+        )
 
 
 def evaluate_design(

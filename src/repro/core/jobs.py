@@ -10,14 +10,25 @@ module turns that fan-out into an explicit job layer:
   stable hash of the config, the workload's full layer content, the
   batch, the cell-library fingerprint, and a cache-schema version, so a
   warm re-run skips simulation entirely and any change to any key
-  component is automatically a miss;
+  component is automatically a miss.  Unreadable or wrong-schema
+  entries are quarantined into ``<root>/quarantine/`` on first
+  encounter instead of being silently re-missed forever;
 * :class:`JobRunner` — executes a task list serially (the default, for
   determinism-by-default) or over a ``ProcessPoolExecutor`` when
-  ``jobs > 1``, consulting the cache either way.
+  ``jobs > 1``, consulting the cache either way — and survives the
+  failures a long sweep actually hits: per-task wall-clock timeouts,
+  bounded retry with backoff + jitter for transient worker failures
+  (:class:`repro.core.resilience.RetryPolicy`), ``BrokenProcessPool``
+  recovery that re-executes stranded tasks, graceful degradation to
+  serial execution when the pool dies twice, and a
+  :class:`repro.core.resilience.SweepCheckpoint` journal so a killed
+  sweep resumes instead of restarting.
 
 Results are *always* materialized from the serialized payload — whether
 they came from the simulator, a worker process, or the cache — so serial,
-parallel, and warm-cache runs are bitwise-identical by construction.
+parallel, warm-cache, and failure-recovered runs are bitwise-identical
+by construction (proven by ``tests/test_resilience.py`` under injected
+crashes, hangs, SIGKILLs, and corrupted cache entries).
 
 The runner is ambient: library code calls :func:`get_runner` (a shared
 serial, cache-less default) and the CLI / API install a configured one
@@ -26,9 +37,10 @@ with :func:`use_runner` or :func:`session`::
     with session(jobs=4, cache_dir="~/.cache/supernpu") as runner:
         suite = evaluate_suite()          # fans out through the runner
 
-Cache hit/miss and parallel-speedup counters are exported through the
-``repro.obs`` metrics registry (``jobs.cache.hits``, ``jobs.cache.misses``,
-``jobs.sim.executed``, ``jobs.parallel.speedup``, ...).
+Cache and resilience counters are exported through the ``repro.obs``
+metrics registry (``jobs.cache.hits``, ``jobs.cache.misses``,
+``jobs.sim.executed``, ``jobs.retries``, ``jobs.timeouts``,
+``jobs.degraded``, ``jobs.resumed``, ``jobs.cache.quarantined``, ...).
 """
 
 from __future__ import annotations
@@ -38,15 +50,19 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.baselines.scalesim import CMOSNPUConfig, simulate_cmos
+from repro.core.chaos import ChaosInjector
+from repro.core.resilience import RetryPolicy, SweepCheckpoint
 from repro.device.cells import CellLibrary, Technology, library_for
+from repro.errors import CacheError, ConfigError, ReproError, WorkerError
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
 from repro.estimator.uarch_level import UnitEstimate
 from repro.simulator.engine import simulate
@@ -58,6 +74,9 @@ from repro.workloads.models import Network
 #: changes meaning: old cache entries become unreachable (their keys no
 #: longer match), never silently wrong.
 CACHE_SCHEMA_VERSION = 1
+
+#: Subdirectory of a cache root where damaged entries are parked.
+QUARANTINE_DIR = "quarantine"
 
 
 # -- stable content hashing ------------------------------------------------
@@ -107,7 +126,8 @@ class SimTask:
 
     def __post_init__(self) -> None:
         if self.batch < 1:
-            raise ValueError("batch must be positive")
+            raise ConfigError("batch must be positive",
+                              code="config.invalid_batch", batch=self.batch)
 
     @property
     def is_cmos(self) -> bool:
@@ -204,6 +224,7 @@ class CacheStats:
     entries: int
     bytes: int
     by_kind: Dict[str, int] = field(default_factory=dict)
+    quarantined: int = 0
 
 
 class ResultCache:
@@ -211,29 +232,56 @@ class ResultCache:
 
     One JSON file per entry under ``root/<key[:2]>/<key>.json``; writes
     are atomic (tmp file + ``os.replace``) so concurrent runners sharing
-    a cache directory never observe torn entries.
+    a cache directory never observe torn entries.  Entries that cannot
+    be read back — torn writes, truncated JSON, foreign schema versions —
+    are moved into ``root/quarantine/`` the first time they are seen, so
+    a damaged entry costs exactly one miss, not one per run forever.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise CacheError(
+                f"cannot create cache directory {self.root}: {error}",
+                code="cache.unwritable", hint="pick a writable --cache-dir",
+                path=str(self.root),
+            ) from error
 
-    def _path(self, key: str) -> Path:
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one entry."""
         return self.root / key[:2] / f"{key}.json"
 
+    # Backwards-compatible alias (pre-quarantine callers used `_path`).
+    _path = path_for
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload, or None on miss / unreadable entry."""
-        path = self._path(key)
+        """The stored payload, or None on miss (quarantining bad entries)."""
+        path = self.path_for(key)
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        if document.get("schema") != CACHE_SCHEMA_VERSION:
+        except OSError:
+            self.quarantine(key, reason="unreadable")
             return None
-        return document.get("payload")
+        try:
+            document = json.loads(text)
+        except ValueError:
+            self.quarantine(key, reason="corrupt")
+            return None
+        if not isinstance(document, dict) or document.get("schema") != CACHE_SCHEMA_VERSION:
+            self.quarantine(key, reason="wrong-schema")
+            return None
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            self.quarantine(key, reason="wrong-schema")
+            return None
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any], kind: str = "simulate") -> None:
-        path = self._path(key)
+        path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -243,33 +291,80 @@ class ResultCache:
             "payload": payload,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as error:
+            # Never litter the cache dir with orphaned tmp files.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise CacheError(
+                f"failed to write cache entry {key[:12]}…: {error}",
+                code="cache.write_failed",
+                hint="check free space and permissions on the cache directory",
+                path=str(path),
+            ) from error
+
+    def quarantine(self, key: str, reason: str = "corrupt") -> Optional[Path]:
+        """Park a damaged entry under ``quarantine/``; returns its new path."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        pen = self.root / QUARANTINE_DIR
+        destination = pen / f"{reason}-{path.name}"
+        try:
+            pen.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            try:  # quarantine unavailable: deleting still stops the re-miss loop
+                path.unlink()
+            except OSError:
+                return None
+            return None
+        obs.counter("jobs.cache.quarantined").inc()
+        return destination
 
     def _entries(self) -> Iterator[Path]:
         if not self.root.exists():
             return
         for path in sorted(self.root.glob("*/*.json")):
-            yield path
+            if len(path.parent.name) == 2:  # hash buckets only, not quarantine/
+                yield path
+
+    def _quarantined(self) -> List[Path]:
+        pen = self.root / QUARANTINE_DIR
+        if not pen.is_dir():
+            return []
+        return sorted(p for p in pen.iterdir() if p.is_file())
 
     def stats(self) -> CacheStats:
         entries = 0
         total_bytes = 0
         by_kind: Dict[str, int] = {}
         for path in self._entries():
-            entries += 1
-            total_bytes += path.stat().st_size
             try:
-                kind = json.loads(path.read_text(encoding="utf-8")).get("kind", "?")
-            except (OSError, ValueError):
+                raw = path.read_bytes()  # one read serves both size and kind
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += len(raw)
+            try:
+                kind = json.loads(raw).get("kind", "?")
+            except ValueError:
                 kind = "corrupt"
             by_kind[kind] = by_kind.get(kind, 0) + 1
-        return CacheStats(entries=entries, bytes=total_bytes, by_kind=by_kind)
+        return CacheStats(entries=entries, bytes=total_bytes, by_kind=by_kind,
+                          quarantined=len(self._quarantined()))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined included); returns how many."""
         removed = 0
         for path in self._entries():
+            path.unlink()
+            removed += 1
+        for path in self._quarantined():
             path.unlink()
             removed += 1
         for bucket in sorted(self.root.glob("*")):
@@ -307,6 +402,14 @@ def _execute(task: SimTask) -> Tuple[Dict[str, Any], float]:
     return result_to_dict(run), time.perf_counter() - start
 
 
+def _execute_task(task: SimTask,
+                  chaos: Optional[ChaosInjector] = None) -> Tuple[Dict[str, Any], float]:
+    """The unit submitted to workers: optional chaos, then the simulation."""
+    if chaos is not None:
+        chaos.fire(task.key())
+    return _execute(task)
+
+
 # -- the runner ------------------------------------------------------------
 
 @dataclass
@@ -317,6 +420,11 @@ class RunnerStats:
     hits: int = 0
     misses: int = 0
     executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    degraded: int = 0
+    resumed: int = 0
     task_seconds: float = 0.0
     elapsed_seconds: float = 0.0
 
@@ -332,27 +440,63 @@ class RunnerStats:
         return self.task_seconds / self.elapsed_seconds
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.tasks} tasks: {self.hits} cache hits / {self.misses} misses "
             f"({100 * self.hit_rate:.1f}% hit rate), {self.executed} simulated"
         )
+        if self.retries:
+            line += f", {self.retries} retries"
+        if self.timeouts:
+            line += f", {self.timeouts} timeouts"
+        if self.resumed:
+            line += f", {self.resumed} resumed from checkpoint"
+        if self.degraded:
+            line += " [degraded to serial]"
+        return line
 
 
 class JobRunner:
-    """Executes :class:`SimTask` lists with optional parallelism + caching.
+    """Executes :class:`SimTask` lists with parallelism, caching, recovery.
 
     ``jobs=1`` (the default) runs everything in-process; ``jobs > 1``
     fans cache misses out over a ``ProcessPoolExecutor``.  Task order is
     preserved, and results are materialized from serialized payloads in
-    every mode, so the output is identical regardless of ``jobs`` or
-    cache temperature.
+    every mode, so the output is identical regardless of ``jobs``, cache
+    temperature, or how many failures were recovered along the way.
+
+    Fault tolerance:
+
+    * transient worker failures are retried per ``retry`` (exponential
+      backoff + jitter); taxonomy errors (:class:`repro.errors.ReproError`)
+      are deterministic and never retried;
+    * ``timeout_s`` bounds each task's wall clock (parallel mode): a hung
+      task's pool is abandoned (its workers killed), the stranded tasks
+      are re-executed, and the hang counts against the task's retry budget;
+    * a broken pool (e.g. a SIGKILLed worker) is rebuilt once; if the
+      pool dies a second time the runner degrades to serial execution and
+      finishes the sweep in-process (``jobs.degraded``);
+    * completed tasks are written to the cache and the ``checkpoint``
+      journal *immediately*, so a killed run resumes from where it died
+      (``jobs.resumed`` counts journaled tasks served from cache).
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout_s: Optional[float] = None,
+                 checkpoint: Optional[SweepCheckpoint] = None,
+                 chaos: Optional[ChaosInjector] = None) -> None:
         if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+            raise ConfigError("jobs must be >= 1", code="config.invalid_jobs",
+                              jobs=jobs)
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive",
+                              code="config.invalid_timeout", timeout_s=timeout_s)
         self.jobs = jobs
         self.cache = cache
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout_s = timeout_s
+        self.checkpoint = checkpoint
+        self.chaos = chaos
         self.stats = RunnerStats()
         self._estimates: Dict[str, NPUEstimate] = {}
 
@@ -360,45 +504,231 @@ class JobRunner:
     def run(self, tasks: Sequence[SimTask]) -> List[SimulationResult]:
         """Run every task (cache-first), preserving task order."""
         started = time.perf_counter()
-        payloads: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
         keys = [task.key() for task in tasks]
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
         pending: List[int] = []
+        resumed = 0
         for index, key in enumerate(keys):
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                payloads[index] = cached
-            else:
+            payload = self._cached_payload(key)
+            if payload is None:
                 pending.append(index)
+                continue
+            payloads[index] = payload
+            if self.checkpoint is not None and key in self.checkpoint:
+                resumed += 1
         hits = len(tasks) - len(pending)
 
         task_seconds = 0.0
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    chunksize = max(1, len(pending) // (4 * workers))
-                    executed = pool.map(
-                        _execute, [tasks[i] for i in pending], chunksize=chunksize
-                    )
-                    for index, (payload, seconds) in zip(pending, executed):
-                        payloads[index] = payload
-                        task_seconds += seconds
+                task_seconds = self._run_parallel(tasks, keys, payloads, pending)
             else:
-                for index in pending:
-                    payload, seconds = _execute(tasks[index])
-                    payloads[index] = payload
-                    task_seconds += seconds
-            if self.cache is not None:
-                for index in pending:
-                    kind = "simulate_cmos" if tasks[index].is_cmos else "simulate"
-                    self.cache.put(keys[index], payloads[index], kind=kind)
+                task_seconds = self._run_serial(tasks, keys, payloads, pending)
 
         elapsed = time.perf_counter() - started
-        self._account(len(tasks), hits, len(pending), task_seconds, elapsed)
+        self._account(len(tasks), hits, len(pending), task_seconds, elapsed, resumed)
         return [result_from_dict(payload) for payload in payloads]
 
     def run_one(self, task: SimTask) -> SimulationResult:
         return self.run([task])[0]
+
+    # -- cache interaction --------------------------------------------
+    def _cached_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """A materializable cached payload, or None (quarantining poison)."""
+        if self.cache is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            result_from_dict(payload)
+        except Exception:
+            # Well-formed JSON, wrong shape: poison, not a result.
+            self.cache.quarantine(key, reason="poisoned-payload")
+            return None
+        return payload
+
+    def _finish_task(self, index: int, key: str, task: SimTask,
+                     payload: Dict[str, Any],
+                     payloads: List[Optional[Dict[str, Any]]]) -> None:
+        """Record one completed task: payload slot, cache, journal."""
+        payloads[index] = payload
+        if self.cache is not None:
+            kind = "simulate_cmos" if task.is_cmos else "simulate"
+            self.cache.put(key, payload, kind=kind)
+        if self.checkpoint is not None:
+            self.checkpoint.mark(key)
+
+    # -- serial execution (also the degraded path) --------------------
+    def _run_serial(self, tasks: Sequence[SimTask], keys: List[str],
+                    payloads: List[Optional[Dict[str, Any]]],
+                    pending: Sequence[int]) -> float:
+        total = 0.0
+        for index in pending:
+            payload, seconds = self._execute_with_retry(tasks[index], keys[index])
+            total += seconds
+            self._finish_task(index, keys[index], tasks[index], payload, payloads)
+        return total
+
+    def _execute_with_retry(self, task: SimTask, key: str,
+                            failures: int = 0) -> Tuple[Dict[str, Any], float]:
+        """In-process execution under the retry policy."""
+        while True:
+            try:
+                return _execute_task(task, self.chaos)
+            except ReproError:
+                raise  # deterministic: retrying cannot change the outcome
+            except Exception as error:
+                failures += 1
+                if failures > self.retry.max_retries:
+                    raise WorkerError(
+                        f"task {key[:12]}… failed after {failures} attempts: {error}",
+                        code="worker.retries_exhausted",
+                        hint="transient failures exhausted the retry budget; "
+                             "see --retries",
+                        task=key, attempts=failures,
+                    ) from error
+                self._note_retry(key, error)
+                time.sleep(self.retry.delay_s(failures))
+
+    # -- parallel execution -------------------------------------------
+    def _run_parallel(self, tasks: Sequence[SimTask], keys: List[str],
+                      payloads: List[Optional[Dict[str, Any]]],
+                      pending: Sequence[int]) -> float:
+        total_seconds = 0.0
+        workers = min(self.jobs, len(pending))
+        queue: Deque[Tuple[int, int]] = deque((index, 0) for index in pending)
+        remaining = len(pending)
+        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(max_workers=workers)
+        pool_deaths = 0
+        inflight: Dict[Future, Tuple[int, int, Optional[float]]] = {}
+        try:
+            while remaining:
+                if pool is None:
+                    # Degraded: finish the sweep in-process, deterministically.
+                    while queue:
+                        index, failures = queue.popleft()
+                        payload, seconds = self._execute_with_retry(
+                            tasks[index], keys[index], failures=failures)
+                        total_seconds += seconds
+                        self._finish_task(index, keys[index], tasks[index],
+                                          payload, payloads)
+                        remaining -= 1
+                    break
+
+                while queue and len(inflight) < workers:
+                    index, failures = queue.popleft()
+                    future = pool.submit(_execute_task, tasks[index], self.chaos)
+                    deadline = (time.monotonic() + self.timeout_s
+                                if self.timeout_s is not None else None)
+                    inflight[future] = (index, failures, deadline)
+
+                done, _ = wait(set(inflight), timeout=self._wait_timeout(inflight),
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                fatal: Optional[WorkerError] = None
+                for future in done:
+                    index, failures, _ = inflight.pop(future)
+                    try:
+                        payload, seconds = future.result()
+                    except BrokenExecutor:
+                        # The pool died under this task (SIGKILLed worker,
+                        # OOM-killed child, ...).  The task is stranded, not
+                        # guilty-by-proof: re-queue without a retry penalty;
+                        # the pool-death counter bounds the recovery loop.
+                        queue.appendleft((index, failures))
+                        broken = True
+                    except ReproError:
+                        raise
+                    except Exception as error:
+                        failures += 1
+                        if failures > self.retry.max_retries:
+                            raise WorkerError(
+                                f"task {keys[index][:12]}… failed after "
+                                f"{failures} attempts: {error}",
+                                code="worker.retries_exhausted",
+                                hint="transient failures exhausted the retry "
+                                     "budget; see --retries",
+                                task=keys[index], attempts=failures,
+                            ) from error
+                        self._note_retry(keys[index], error)
+                        time.sleep(self.retry.delay_s(failures))
+                        queue.append((index, failures))
+                    else:
+                        total_seconds += seconds
+                        self._finish_task(index, keys[index], tasks[index],
+                                          payload, payloads)
+                        remaining -= 1
+
+                if not broken and self.timeout_s is not None:
+                    now = time.monotonic()
+                    for future, (index, failures, deadline) in list(inflight.items()):
+                        if deadline is None or now < deadline or future.done():
+                            continue
+                        # A hung task: the pool must be abandoned (a running
+                        # future cannot be cancelled), and the hang counts
+                        # against this task's retry budget.
+                        inflight.pop(future)
+                        failures += 1
+                        self.stats.timeouts += 1
+                        obs.counter("jobs.timeouts").inc()
+                        if failures > self.retry.max_retries:
+                            fatal = WorkerError(
+                                f"task {keys[index][:12]}… exceeded the "
+                                f"{self.timeout_s:g}s timeout {failures} times",
+                                code="worker.timeout",
+                                hint="raise --task-timeout or investigate the hang",
+                                task=keys[index], attempts=failures,
+                            )
+                            break
+                        queue.append((index, failures))
+                        broken = True
+
+                if broken or fatal is not None:
+                    for future, (index, failures, _) in inflight.items():
+                        queue.append((index, failures))  # stranded, not failed
+                    inflight.clear()
+                    self._abandon_pool(pool)
+                    pool = None
+                    if fatal is not None:
+                        raise fatal
+                    pool_deaths += 1
+                    self.stats.pool_restarts += 1
+                    obs.counter("jobs.pool_restarts").inc()
+                    if pool_deaths >= 2:
+                        # The pool is not trustworthy; finish serially.
+                        self.stats.degraded += 1
+                        obs.counter("jobs.degraded").inc()
+                    else:
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(workers, max(1, remaining)))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        return total_seconds
+
+    def _wait_timeout(self, inflight: Dict[Future, Tuple[int, int, Optional[float]]]
+                      ) -> Optional[float]:
+        """How long ``wait`` may block before the next deadline check."""
+        deadlines = [deadline for (_, _, deadline) in inflight.values()
+                     if deadline is not None]
+        if not deadlines:
+            return None
+        return max(0.01, min(deadlines) - time.monotonic())
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*, hung or dead workers included."""
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _note_retry(self, key: str, error: Exception) -> None:
+        self.stats.retries += 1
+        obs.counter("jobs.retries").inc()
 
     # -- estimates ----------------------------------------------------
     def estimate(self, config: NPUConfig, library: Optional[CellLibrary] = None) -> NPUEstimate:
@@ -422,17 +752,20 @@ class JobRunner:
 
     # -- accounting ---------------------------------------------------
     def _account(self, tasks: int, hits: int, executed: int,
-                 task_seconds: float, elapsed: float) -> None:
+                 task_seconds: float, elapsed: float, resumed: int = 0) -> None:
         self.stats.tasks += tasks
         self.stats.hits += hits
         self.stats.misses += executed
         self.stats.executed += executed
+        self.stats.resumed += resumed
         self.stats.task_seconds += task_seconds
         self.stats.elapsed_seconds += elapsed
         obs.counter("jobs.tasks").add(tasks)
         obs.counter("jobs.cache.hits").add(hits)
         obs.counter("jobs.cache.misses").add(executed)
         obs.counter("jobs.sim.executed").add(executed)
+        if resumed:
+            obs.counter("jobs.resumed").add(resumed)
         obs.gauge("jobs.workers").set(self.jobs)
         obs.histogram("jobs.batch_seconds").observe(elapsed)
         if executed and elapsed > 0:
@@ -462,9 +795,25 @@ def use_runner(runner: JobRunner) -> Iterator[JobRunner]:
 
 @contextmanager
 def session(jobs: int = 1, cache_dir: Optional[Union[str, Path]] = None,
-            cache: Optional[ResultCache] = None) -> Iterator[JobRunner]:
-    """Build a runner from knobs and install it (the CLI's entry point)."""
+            cache: Optional[ResultCache] = None,
+            retry: Optional[RetryPolicy] = None,
+            timeout_s: Optional[float] = None,
+            checkpoint: Optional[SweepCheckpoint] = None,
+            checkpoint_path: Optional[Union[str, Path]] = None,
+            chaos: Optional[ChaosInjector] = None) -> Iterator[JobRunner]:
+    """Build a runner from knobs and install it (the CLI's entry point).
+
+    A checkpoint journal given here is cleared when the block exits
+    cleanly (the sweep finished; nothing to resume) and kept when the
+    block raises or the process dies (the next session resumes from it).
+    """
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
-    with use_runner(JobRunner(jobs=jobs, cache=cache)) as runner:
+    if checkpoint is None and checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(checkpoint_path)
+    runner = JobRunner(jobs=jobs, cache=cache, retry=retry, timeout_s=timeout_s,
+                       checkpoint=checkpoint, chaos=chaos)
+    with use_runner(runner):
         yield runner
+    if checkpoint is not None:
+        checkpoint.clear()

@@ -1,0 +1,127 @@
+"""Fault-tolerance primitives for the job layer.
+
+Two pieces, both consumed by :class:`repro.core.jobs.JobRunner`:
+
+* :class:`RetryPolicy` — bounded retry with exponential backoff and
+  jitter for *transient* task failures (a crashed worker, a chaos
+  injection, an OS hiccup).  Deterministic failures — anything in the
+  :mod:`repro.errors` taxonomy — are never retried: a bad config fails
+  the same way every time.
+* :class:`SweepCheckpoint` — an append-only journal of completed task
+  keys kept beside the result cache.  A killed ``evaluate`` / ``sweep``
+  / ``reproduce`` run leaves its journal behind; the next run with the
+  same checkpoint resumes, executing only the remaining tasks, and a
+  run that completes cleanly clears it.
+
+The journal stores only 64-hex-char content keys (one per line), so a
+writer killed mid-line can at worst leave one unparseable line, which
+is dropped on load — resume is conservative, never wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import string
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Set, Union
+
+from repro.errors import ConfigError
+
+_HEX = set(string.hexdigits.lower())
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff + jitter.
+
+    ``max_retries`` is the number of *re*-attempts after the first
+    failure; ``max_retries=0`` fails fast.  The delay before attempt
+    ``n`` (1-based failure count) is
+    ``min(max_delay_s, base_delay_s * 2**(n-1))`` stretched by up to
+    ``jitter`` (fractional), so retrying workers do not stampede.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative",
+                              code="config.invalid_retry", max_retries=self.max_retries)
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigError("retry delays must be non-negative",
+                              code="config.invalid_retry")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigError("jitter must lie in [0, 1]",
+                              code="config.invalid_retry", jitter=self.jitter)
+
+    def delay_s(self, failures: int) -> float:
+        """Backoff before the next attempt, after ``failures`` failures."""
+        if failures < 1:
+            return 0.0
+        bounded = min(self.max_delay_s, self.base_delay_s * (2 ** (failures - 1)))
+        return bounded * (1.0 + self.jitter * random.random())
+
+
+#: Fail-fast policy (no retries, no sleeping) for tests and strict runs.
+NO_RETRY = RetryPolicy(max_retries=0, base_delay_s=0.0, jitter=0.0)
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed task keys (one 64-hex key per line).
+
+    The journal lives beside the cache (``<cache>/checkpoints/<name>.journal``
+    by CLI convention) and is crash-safe by construction: ``mark`` appends
+    a single line and flushes, loading drops anything that is not a whole
+    content key, and a load of a file missing its trailing newline repairs
+    it before the next append so a killed writer cannot splice two keys.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path).expanduser()
+        self.completed: Set[str] = set()
+        self._needs_newline = False
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError:
+            return
+        self._needs_newline = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            key = line.strip()
+            if len(key) == 64 and set(key) <= _HEX:
+                self.completed.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def mark(self, key: str) -> None:
+        """Record one completed task (idempotent, flushed immediately)."""
+        if key in self.completed:
+            return
+        self.completed.add(key)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as journal:
+            if self._needs_newline:
+                journal.write("\n")
+                self._needs_newline = False
+            journal.write(key + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+
+    def clear(self) -> None:
+        """Forget everything — the sweep completed, no resume needed."""
+        self.completed.clear()
+        self._needs_newline = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -20,6 +20,7 @@ from repro.core.batching import derived_batch
 from repro.core.jobs import JobRunner, SimTask, get_runner
 from repro.core.optimizer import resource_config
 from repro.device.cells import CellLibrary, Technology, library_for
+from repro.errors import ConfigError
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network, all_workloads
 
@@ -78,7 +79,8 @@ def search(
     is individually cacheable.
     """
     if area_budget_mm2 <= 0:
-        raise ValueError("area budget must be positive")
+        raise ConfigError("area budget must be positive",
+                          code="config.invalid_budget")
     runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()

@@ -1,0 +1,158 @@
+"""``repro.errors`` — the structured exception taxonomy of the framework.
+
+Every user-facing failure raised by the stack is a :class:`ReproError`
+carrying a machine-readable ``code`` (dotted, stable, greppable), a
+``context`` dict of the values that triggered it, and an optional
+``remediation`` hint.  The CLI maps the taxonomy onto distinct exit
+codes (see ``docs/ROBUSTNESS.md``):
+
+==================  =========  =======================================
+class               exit code  meaning
+==================  =========  =======================================
+:class:`ConfigError`        2  bad usage / design configuration
+:class:`WorkloadError`      3  bad or unknown workload / layer
+:class:`SimulationError`    4  a simulation failed
+:class:`WorkerError`        4  a worker task failed after retries
+:class:`CacheError`         5  the result cache is unusable
+==================  =========  =======================================
+
+For backward compatibility with the pre-taxonomy API, the validation
+classes also inherit the builtin exception they replaced:
+``ConfigError``/``WorkloadError`` are ``ValueError``s, the
+``Unknown*Error`` name-lookup variants are ``KeyError``s, and the
+``Invalid*Spec`` resolution variants are ``TypeError``s — existing
+``except ValueError`` call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+def _rebuild_error(cls: type, message: str, code: str, hint: Optional[str],
+                   context: Dict[str, Any]) -> "ReproError":
+    """Unpickle helper preserving code / hint / context across processes."""
+    error = cls(message, code=code, hint=hint, context=context)
+    return error
+
+
+class ReproError(Exception):
+    """Root of the taxonomy: a structured, user-addressable failure.
+
+    Attributes:
+        message: Human-readable one-line description.
+        code: Stable machine-readable identifier (``"config.unknown_fields"``).
+        hint: Optional remediation suggestion shown by the CLI.
+        context: Machine-readable details (offending values, paths, keys).
+    """
+
+    #: Process exit code the CLI maps this class to.
+    exit_code: int = 1
+    #: Default ``code`` when the raise site does not pass one.
+    default_code: str = "repro.internal"
+
+    def __init__(self, message: str, *, code: Optional[str] = None,
+                 hint: Optional[str] = None,
+                 context: Optional[Dict[str, Any]] = None, **extra: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.code = code or type(self).default_code
+        self.hint = hint
+        self.context: Dict[str, Any] = dict(context or {})
+        self.context.update(extra)
+
+    def __str__(self) -> str:
+        return self.message
+
+    def __reduce__(self):
+        return (_rebuild_error,
+                (type(self), self.message, self.code, self.hint, self.context))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record of the failure (for reports and logs)."""
+        return {
+            "kind": type(self).__name__,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+            "context": self.context,
+            "exit_code": self.exit_code,
+        }
+
+    def describe(self) -> str:
+        """The message plus the hint, for one-shot display."""
+        if self.hint:
+            return f"{self.message}\nhint: {self.hint}"
+        return self.message
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid usage or design configuration (bad field, bad file, bad flag)."""
+
+    exit_code = 2
+    default_code = "config.invalid"
+
+
+class UnknownDesignError(ConfigError, KeyError):
+    """A design name that resolves to nothing."""
+
+    default_code = "config.unknown_design"
+
+
+class InvalidSpecError(ConfigError, TypeError):
+    """A design / technology spec of a type the resolver cannot handle."""
+
+    default_code = "config.invalid_spec"
+
+
+class WorkloadError(ReproError, ValueError):
+    """Invalid or malformed workload / layer description."""
+
+    exit_code = 3
+    default_code = "workload.invalid"
+
+
+class UnknownWorkloadError(WorkloadError, KeyError):
+    """A workload (or layer) name that resolves to nothing."""
+
+    default_code = "workload.unknown"
+
+
+class InvalidWorkloadSpecError(WorkloadError, TypeError):
+    """A workload spec of a type the resolver cannot handle."""
+
+    default_code = "workload.invalid_spec"
+
+
+class SimulationError(ReproError):
+    """A simulation that could not produce a result."""
+
+    exit_code = 4
+    default_code = "simulation.failed"
+
+
+class WorkerError(SimulationError):
+    """A job-runner task that failed after exhausting its retry budget."""
+
+    default_code = "worker.failed"
+
+
+class CacheError(ReproError):
+    """The result cache is unusable (unwritable directory, failed replace)."""
+
+    exit_code = 5
+    default_code = "cache.unusable"
+
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnknownDesignError",
+    "InvalidSpecError",
+    "WorkloadError",
+    "UnknownWorkloadError",
+    "InvalidWorkloadSpecError",
+    "SimulationError",
+    "WorkerError",
+    "CacheError",
+]

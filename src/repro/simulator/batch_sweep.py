@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.device.cells import CellLibrary
+from repro.errors import ConfigError
 from repro.estimator.arch_level import NPUEstimate
 from repro.simulator.engine import simulate
 from repro.uarch.config import NPUConfig
@@ -56,9 +57,11 @@ def batch_sweep(
     directly, serially.
     """
     if not batches:
-        raise ValueError("need at least one batch size")
+        raise ConfigError("need at least one batch size",
+                          code="config.empty_sweep")
     if any(b < 1 for b in batches):
-        raise ValueError("batch sizes must be positive")
+        raise ConfigError("batch sizes must be positive",
+                          code="config.invalid_batch")
     if estimate is not None:
         return [
             _point(simulate(config, network, batch=batch, estimate=estimate))
@@ -85,7 +88,8 @@ def knee_batch(points: List[BatchPoint], threshold: float = 0.10) -> int:
     if not points:
         raise ValueError("empty sweep")
     if not 0 < threshold < 1:
-        raise ValueError("threshold must lie in (0, 1)")
+        raise ConfigError("threshold must lie in (0, 1)",
+                          code="config.invalid_threshold")
     ordered = sorted(points, key=lambda p: p.batch)
     for current, following in zip(ordered, ordered[1:]):
         gain = following.mac_per_s / current.mac_per_s - 1.0

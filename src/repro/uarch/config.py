@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigError
+
 KIB = 1024
 MIB = 1024 * 1024
 
@@ -56,15 +58,25 @@ class NPUConfig:
 
     def __post_init__(self) -> None:
         if self.pe_array_width < 1 or self.pe_array_height < 1:
-            raise ValueError("PE array dimensions must be positive")
+            raise ConfigError("PE array dimensions must be positive",
+                              code="config.invalid_value",
+                              width=self.pe_array_width, height=self.pe_array_height)
         if self.data_bits < 1 or self.psum_bits < self.data_bits:
-            raise ValueError("psum width must be at least the data width")
+            raise ConfigError("psum width must be at least the data width",
+                              code="config.invalid_value",
+                              data_bits=self.data_bits, psum_bits=self.psum_bits)
         if self.ifmap_division < 1 or self.output_division < 1:
-            raise ValueError("buffer division degree must be >= 1")
+            raise ConfigError("buffer division degree must be >= 1",
+                              code="config.invalid_value")
         if self.registers_per_pe < 1:
-            raise ValueError("registers per PE must be >= 1")
+            raise ConfigError("registers per PE must be >= 1",
+                              code="config.invalid_value")
         if self.integrated_output_buffer and self.psum_buffer_bytes:
-            raise ValueError("an integrated design has no separate psum buffer")
+            raise ConfigError(
+                "an integrated design has no separate psum buffer",
+                code="config.invalid_value",
+                hint="set psum_buffer_bytes=0 when integrated_output_buffer is true",
+            )
         for field_name in (
             "ifmap_buffer_bytes",
             "output_buffer_bytes",
@@ -72,7 +84,8 @@ class NPUConfig:
             "weight_buffer_bytes",
         ):
             if getattr(self, field_name) < 0:
-                raise ValueError(f"{field_name} must be non-negative")
+                raise ConfigError(f"{field_name} must be non-negative",
+                                  code="config.invalid_value", field=field_name)
 
     # -- Derived quantities --------------------------------------------------
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import WorkloadError
+
 
 @dataclass(frozen=True)
 class ConvLayer:
@@ -53,15 +55,26 @@ class ConvLayer:
             "groups",
         ):
             if getattr(self, field_name) < 1:
-                raise ValueError(f"{field_name} must be positive in layer {self.name!r}")
+                raise WorkloadError(
+                    f"{field_name} must be positive in layer {self.name!r}",
+                    code="workload.invalid_layer", layer=self.name, field=field_name,
+                )
         if self.padding < 0:
-            raise ValueError(f"padding must be non-negative in layer {self.name!r}")
+            raise WorkloadError(
+                f"padding must be non-negative in layer {self.name!r}",
+                code="workload.invalid_layer", layer=self.name,
+            )
         if self.in_channels % self.groups or self.out_channels % self.groups:
-            raise ValueError(
-                f"channels must divide evenly into groups in layer {self.name!r}"
+            raise WorkloadError(
+                f"channels must divide evenly into groups in layer {self.name!r}",
+                code="workload.invalid_layer", layer=self.name, groups=self.groups,
             )
         if self.out_height < 1 or self.out_width < 1:
-            raise ValueError(f"kernel does not fit the input in layer {self.name!r}")
+            raise WorkloadError(
+                f"kernel does not fit the input in layer {self.name!r}",
+                code="workload.invalid_layer", layer=self.name,
+                hint="check kernel size, stride, and padding against the input shape",
+            )
 
     # -- Geometry -------------------------------------------------------------
 
@@ -134,7 +147,8 @@ class ConvLayer:
     def footprint_bytes(self, batch: int = 1) -> int:
         """On-chip residency needed to run the layer without re-fetch."""
         if batch < 1:
-            raise ValueError("batch must be positive")
+            raise WorkloadError("batch must be positive",
+                                code="workload.invalid_batch", batch=batch)
         return (self.ifmap_bytes + self.ofmap_bytes) * batch
 
     def unique_ifmap_pixels(self) -> int:
@@ -198,5 +212,6 @@ def pooled(size: int, kernel: int = 2, stride: int | None = None, padding: int =
 
 def ceil_div(a: int, b: int) -> int:
     if b <= 0:
-        raise ValueError("divisor must be positive")
+        raise WorkloadError("divisor must be positive",
+                            code="workload.invalid_value", divisor=b)
     return math.ceil(a / b)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from repro.errors import UnknownWorkloadError, WorkloadError
 from repro.workloads.layers import ConvLayer, depthwise_layer, fc_layer, pooled
 
 
@@ -24,7 +25,8 @@ class Network:
 
     def __post_init__(self) -> None:
         if not self.layers:
-            raise ValueError(f"network {self.name!r} has no layers")
+            raise WorkloadError(f"network {self.name!r} has no layers",
+                                code="workload.empty", network=self.name)
 
     @property
     def conv_layers(self) -> Tuple[ConvLayer, ...]:
@@ -249,7 +251,11 @@ def by_name(name: str) -> Network:
     try:
         return _BUILDERS[name.lower().replace("-", "").replace("_", "")]()
     except KeyError:
-        raise KeyError(f"unknown workload {name!r}; known: {sorted(_BUILDERS)}") from None
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_BUILDERS)}",
+            hint="run `supernpu workloads` to list the paper's benchmarks",
+            name=name, known=sorted(_BUILDERS),
+        ) from None
 
 
 def all_workloads() -> List[Network]:

@@ -49,9 +49,10 @@ def test_table2_command(capsys):
     assert "AlexNet" in capsys.readouterr().out
 
 
-def test_unknown_design_raises():
-    with pytest.raises(KeyError):
-        main(["estimate", "meganpu"])
+def test_unknown_design_exits_2(capsys):
+    assert main(["estimate", "meganpu"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown design 'meganpu'" in err and "hint:" in err
 
 
 def test_workloads_command(capsys):
@@ -72,9 +73,14 @@ def test_trace_csv_command(capsys):
     assert out.startswith("mapping,phase,start_cycle")
 
 
-def test_trace_unknown_layer(capsys):
-    with pytest.raises(KeyError, match="no layer"):
-        main(["trace", "baseline", "vgg16", "conv99"])
+def test_trace_unknown_layer_exits_3(capsys):
+    assert main(["trace", "baseline", "vgg16", "conv99"]) == 3
+    assert "no layer 'conv99'" in capsys.readouterr().err
+
+
+def test_debug_flag_reraises():
+    with pytest.raises(KeyError):
+        main(["--debug", "estimate", "meganpu"])
 
 
 def test_report_json_command(capsys):

@@ -127,13 +127,16 @@ def test_cache_ignores_other_schema_versions(tmp_path):
     assert cache.get(key) is None
 
 
-def test_cache_survives_corrupt_entries(tmp_path):
+def test_cache_quarantines_corrupt_entries(tmp_path):
     cache = ResultCache(tmp_path / "c")
     key = "ef" * 32
     cache.put(key, {"x": 1})
     cache._path(key).write_text("not json{")
     assert cache.get(key) is None
-    assert cache.stats().by_kind == {"corrupt": 1}
+    # The damaged entry is moved aside, not silently re-missed forever.
+    assert not cache._path(key).exists()
+    stats = cache.stats()
+    assert stats.entries == 0 and stats.quarantined == 1
 
 
 def test_cache_stats_and_clear(tmp_path):

@@ -64,3 +64,32 @@ def test_fault_validation(multiplier):
         PulseFault("and0", cycle=0, kind="invert")
     with pytest.raises(KeyError):
         compute_with_faults(multiplier, {"a": 1, "b": 1}, [PulseFault("nope", 0)])
+
+
+def test_sensitive_surface_of_multi_output_network():
+    """The campaign covers every output bit of a multi-output circuit."""
+    adder = build_adder(3)
+    assert adder.output_width > 1
+    surface = sensitive_gates(adder, {"a": 5, "b": 3}, cycle=1)
+    # 5 + 3 carries through every bit; some pipeline stage must be live.
+    assert surface
+    assert surface <= set(adder.builder.network._gates)
+
+
+def test_inserted_pulse_flips_result_bit(multiplier):
+    """A spurious partial-product pulse flips exactly the LSB of 2*2."""
+    golden = multiplier.compute(a=2, b=2)
+    faulted = compute_with_faults(
+        multiplier, {"a": 2, "b": 2}, [PulseFault("and0", cycle=0, kind="insert")]
+    )
+    assert faulted != golden
+    assert faulted ^ golden == 1  # and0 is the a0*b0 partial product
+
+
+def test_fault_past_schedule_end_is_noop(multiplier):
+    """A fault scheduled after the pipeline drains must not corrupt (or crash)."""
+    golden = multiplier.compute(a=7, b=9)
+    faulted = compute_with_faults(
+        multiplier, {"a": 7, "b": 9}, [PulseFault("and0", cycle=10_000)]
+    )
+    assert faulted == golden
