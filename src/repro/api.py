@@ -47,6 +47,13 @@ from repro.core.jobs import (
     session,
     use_runner,
 )
+from repro.core.plan import (
+    ExperimentPlan,
+    ResultSet,
+    execute as _execute_plan,
+    named_plans,
+    plan_by_name,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import ConfigError, InvalidSpecError, InvalidWorkloadSpecError
 from repro.estimator.arch_level import NPUEstimate
@@ -74,6 +81,11 @@ __all__ = [
     "evaluate",
     "compare",
     "ablate",
+    "plans",
+    "plan",
+    "run_plan",
+    "ExperimentPlan",
+    "ResultSet",
     "JobRunner",
     "ResultCache",
     "SimTask",
@@ -217,6 +229,29 @@ def ablate(base: Optional[DesignLike] = None,
         base=None if base is None else design(base),
         runner=runner,
     )
+
+
+def plans() -> List[str]:
+    """The registered experiment plans (one per figure/table grid)."""
+    return named_plans()
+
+
+def plan(name: str) -> ExperimentPlan:
+    """Build a registered plan by name (``ConfigError`` if unknown)."""
+    return plan_by_name(name)
+
+
+def run_plan(plan_or_name: Union[str, ExperimentPlan], *,
+             runner: Optional[JobRunner] = None) -> ResultSet:
+    """Execute a plan (or a registered plan name) through the job engine.
+
+    Inherits the ambient runner's cache, parallel fan-out, retry/timeout
+    handling, and checkpoint resume; returns provenance-stamped per-point
+    results.
+    """
+    resolved = plan_by_name(plan_or_name) if isinstance(plan_or_name, str) \
+        else plan_or_name
+    return _execute_plan(resolved, runner=runner)
 
 
 def paper_workloads() -> List[Network]:

@@ -11,6 +11,10 @@ Commands mirror the paper's experiments:
 * ``validate``           — the Fig. 13 model validation
 * ``sweep <which>``      — Figs. 20/21/22 design-space sweeps
 * ``table1|table2|table3`` — the evaluation-setup and power tables
+* ``plan list|show|run`` — the declarative experiment plans every
+  figure/table lowers onto: inspect a plan's grids, dry-run-count its
+  unique simulation tasks (and how many are already cached), or execute
+  it directly through the job engine
 
 ``simulate``, ``evaluate``, ``sweep``, ``compare``, ``reproduce``,
 ``bottleneck`` and ``profile`` accept ``--trace-out FILE`` (Chrome
@@ -701,6 +705,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     only = args.only.split(",") if args.only else None
     session = _ObsSession(args, "reproduce")
+    mark = _plan_mark()
     with _jobs_session(args):
         results = reproduce_all(
             out_dir=args.out, only=only, include_extensions=args.extensions
@@ -710,7 +715,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             print(f"  {name:28s} {marker}")
         available = len(EXPERIMENTS) + (len(EXTENSIONS) if args.extensions else 0)
         print(f"{len(results)} of {available} experiments regenerated")
-        session.finish(experiments=",".join(results))
+        session.finish(experiments=",".join(results), **_plans_since(mark))
     return 0
 
 
@@ -761,6 +766,123 @@ def cmd_trace(args: argparse.Namespace) -> int:
         for phase, cycles in summary.items():
             print(f"  {phase:14s} {cycles:>12,} cycles")
         print(f"  mappings       {events[-1].mapping_index + 1:>12,}")
+    return 0
+
+
+def _plans_since(mark: int) -> dict:
+    """Manifest extras for every plan executed since ``mark``.
+
+    ``mark`` is ``len(recent_plans())`` taken before the command ran; the
+    delta is this command's plan executions, (name, hash) stamped.
+    """
+    from repro.core.plan import recent_plans
+
+    executed = recent_plans()[mark:]
+    if not executed:
+        return {}
+    return {"plans": [{"name": name, "hash": digest}
+                      for name, digest in executed]}
+
+
+def _plan_mark() -> int:
+    from repro.core.plan import recent_plans
+
+    return len(recent_plans())
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.errors import ConfigError
+
+    if args.action == "list":
+        names = api.plans()
+        if args.json:
+            plans = [
+                {
+                    "name": name,
+                    "points": api.plan(name).num_points,
+                    "description": api.plan(name).description,
+                }
+                for name in names
+            ]
+            _print_envelope("plan", {"plans": plans}, action="list")
+            return 0
+        widths = [24, 8]
+        print(_fmt_row(["plan", "points"], widths) + "  description")
+        for name in names:
+            plan = api.plan(name)
+            print(_fmt_row([name, plan.num_points], widths)
+                  + f"  {plan.description}")
+        return 0
+
+    if not args.name:
+        raise ConfigError(
+            f"'plan {args.action}' needs a plan name",
+            code="config.missing_plan",
+            hint=f"known plans: {', '.join(api.plans())}",
+        )
+    plan = api.plan(args.name)
+
+    if args.action == "show":
+        lowered = plan.lower()
+        unique = lowered.sim_tasks()
+        estimate_points = sum(1 for p in lowered.points if p.task is None)
+        cached = None
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir and not getattr(args, "no_cache", False):
+            from repro.core.jobs import ResultCache
+
+            cache = ResultCache(cache_dir)
+            cached = sum(1 for key in unique if cache.path_for(key).exists())
+        if args.json:
+            _print_envelope("plan", {
+                "name": plan.name,
+                "hash": lowered.plan_hash,
+                "description": plan.description,
+                "points_total": len(lowered.points),
+                "unique_simulations": len(unique),
+                "estimate_points": estimate_points,
+                "cached_simulations": cached,
+                "grids": [
+                    {"name": grid.name, "kind": grid.kind,
+                     "points": grid.num_points}
+                    for grid in plan.grids
+                ],
+            }, action="show", plan=plan.name)
+            return 0
+        print(plan.describe())
+        line = (f"dry run: {len(lowered.points)} points -> "
+                f"{len(unique)} unique simulations")
+        if estimate_points:
+            line += f" + {estimate_points} estimate points"
+        if cached is not None:
+            line += (f"; {cached} already cached, "
+                     f"{len(unique) - cached} to execute")
+        print(line)
+        return 0
+
+    # run
+    session = _ObsSession(args, "plan")
+    mark = _plan_mark()
+    with _jobs_session(args) as runner:
+        resultset = api.run_plan(plan, runner=runner)
+        if args.json:
+            _print_envelope("plan", {
+                "name": plan.name,
+                "hash": resultset.plan_hash,
+                "points_total": resultset.points_total,
+                "points_cached": resultset.points_cached,
+                "points_executed": resultset.points_executed,
+                "records": resultset.records(),
+            }, action="run", plan=plan.name)
+        else:
+            print(resultset.describe())
+            print(f"plan hash: {resultset.plan_hash}")
+        session.finish(plan=plan.name, plan_hash=resultset.plan_hash,
+                       points_total=resultset.points_total,
+                       points_cached=resultset.points_cached,
+                       points_executed=resultset.points_executed,
+                       **_plans_since(mark))
     return 0
 
 
@@ -949,6 +1071,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--format", choices=["summary", "csv"], default="summary")
     p_trace.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_plan = sub.add_parser(
+        "plan", help="inspect / run the declarative experiment plans"
+    )
+    p_plan.add_argument("action", choices=["list", "show", "run"],
+                        help="list registered plans, show one plan's grids "
+                             "and dry-run counts, or execute it")
+    p_plan.add_argument("name", nargs="?", default=None,
+                        help="a registered plan name (see 'plan list')")
+    _add_obs_flags(p_plan)
+    _add_jobs_flags(p_plan)
+    _add_json_flag(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
 
     p_cache = sub.add_parser("cache", help="inspect or empty a result cache")
     p_cache.add_argument("action", choices=["stats", "clear"])

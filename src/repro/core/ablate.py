@@ -17,9 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.batching import derived_batch
 from repro.core.designs import supernpu
-from repro.core.jobs import JobRunner, SimTask, get_runner
+from repro.core.jobs import JobRunner
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.uarch.config import MIB, NPUConfig
 from repro.workloads.models import Network, all_workloads
@@ -70,6 +78,27 @@ class AblationRow:
         return 100.0 * (1.0 - self.relative_to_full)
 
 
+def ablation_plan(
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    base: Optional[NPUConfig] = None,
+) -> ExperimentPlan:
+    """The one-factor ablation grid: each ablated config x every workload."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = workloads if workloads is not None else all_workloads()
+    configs = ablated_configs(base)
+    grid = Grid("ablation", (
+        config_axis(tuple(configs.values())),
+        workload_axis(tuple(workloads)),
+        batch_axis(("derived",)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "ablation", (grid,),
+        description="one-factor-at-a-time feature ablation of SuperNPU",
+    )
+
+
 def ablation_study(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
@@ -77,26 +106,15 @@ def ablation_study(
     runner: Optional[JobRunner] = None,
 ) -> List[AblationRow]:
     """Run the one-factor ablation; rows sorted by damage, worst first."""
-    runner = runner or get_runner()
-    library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
     configs = ablated_configs(base)
-
-    tasks = [
-        SimTask(config, network, derived_batch(config, network), library)
-        for config in configs.values()
-        for network in workloads
-    ]
-    results = runner.run(tasks)
+    plan = ablation_plan(workloads, library, base)
+    resultset = execute(plan, runner=runner)
 
     means: Dict[str, float] = {}
-    cursor = 0
-    for key in configs:
-        total = 0.0
-        for _ in workloads:
-            total += results[cursor].mac_per_s
-            cursor += 1
-        means[key] = total / len(workloads)
+    for key, config in configs.items():
+        selected = resultset.select(grid="ablation", config=config.name)
+        means[key] = sum(r.run.mac_per_s for r in selected) / len(workloads)
 
     full = means["SuperNPU"]
     rows = [

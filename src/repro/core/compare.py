@@ -11,8 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.batching import batch_for
-from repro.core.jobs import JobRunner, SimTask, get_runner
+from repro.core.jobs import JobRunner, get_runner
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import ConfigError
 from repro.simulator.attribution import PHASE_ORDER, phase_cycle_totals
@@ -42,6 +50,33 @@ class ComparisonColumn:
         return sum(self.throughput_tmacs.values()) / len(self.throughput_tmacs)
 
 
+def compare_plan(
+    configs: List[NPUConfig],
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+) -> ExperimentPlan:
+    """The comparison grid: every config x every workload, auto batches."""
+    if not configs:
+        raise ConfigError("need at least one design to compare",
+                          code="config.empty_comparison")
+    names = [config.name for config in configs]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"design names must be unique, got {names}",
+                          code="config.duplicate_designs", names=names)
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    grid = Grid("compare", (
+        config_axis(tuple(configs)),
+        workload_axis(workloads),
+        batch_axis(("auto",)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "compare", (grid,),
+        description="side-by-side scorecard of arbitrary design points",
+    )
+
+
 def compare(
     configs: List[NPUConfig],
     workloads: Optional[List[Network]] = None,
@@ -50,29 +85,17 @@ def compare(
 ) -> List[ComparisonColumn]:
     """Score every config on every workload (Table II / derived batches).
 
-    The whole config x workload grid is submitted to the runner as one
-    task list, so comparisons parallelize and cache per design point.
+    The whole config x workload grid lowers onto one plan, so comparisons
+    parallelize and cache per design point.
     """
-    if not configs:
-        raise ConfigError("need at least one design to compare",
-                          code="config.empty_comparison")
-    names = [config.name for config in configs]
-    if len(set(names)) != len(names):
-        raise ConfigError(f"design names must be unique, got {names}",
-                          code="config.duplicate_designs", names=names)
     runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
 
-    tasks = [
-        SimTask(config, network, batch_for(config, network), library)
-        for config in configs
-        for network in workloads
-    ]
-    results = runner.run(tasks)
+    resultset = execute(compare_plan(configs, workloads, library),
+                        runner=runner)
 
     columns: List[ComparisonColumn] = []
-    cursor = 0
     for config in configs:
         estimate = runner.estimate(config, library)
         column = ComparisonColumn(
@@ -82,11 +105,10 @@ def compare(
             area_mm2_28nm=estimate.area_mm2_scaled(),
             static_power_w=estimate.static_power_w,
         )
-        for network in workloads:
-            run = results[cursor]
-            cursor += 1
-            column.throughput_tmacs[network.name] = run.tmacs
-            column.batches[network.name] = run.batch
+        for result in resultset.select(grid="compare", config=config.name):
+            run = result.run
+            column.throughput_tmacs[run.network] = run.tmacs
+            column.batches[run.network] = run.batch
             for phase, cycles in phase_cycle_totals(run).items():
                 column.phase_cycles[phase] = column.phase_cycles.get(phase, 0) + cycles
         columns.append(column)

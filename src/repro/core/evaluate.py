@@ -14,10 +14,18 @@ from typing import Dict, List, Optional
 from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE
 from repro.cooling.cryocooler import PAPER_COOLER, Cryocooler
 from repro.errors import UnknownDesignError
-from repro.core.batching import batch_for
-from repro.core.designs import all_designs
-from repro.core.jobs import JobRunner, SimTask, get_runner
+from repro.core.designs import all_designs, design_by_name
+from repro.core.jobs import JobRunner, get_runner
 from repro.core.metrics import EfficiencyRow, efficiency_row
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.estimator.arch_level import NPUEstimate
 from repro.simulator.power import PowerReport, power_report
@@ -74,6 +82,26 @@ class EvaluationSuite:
         )
 
 
+def design_plan(
+    config: NPUConfig,
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+) -> ExperimentPlan:
+    """One design point x every workload (Table II batches)."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    grid = Grid("design", (
+        config_axis((config,)),
+        workload_axis(workloads),
+        batch_axis(("auto",)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        f"evaluate_{config.name}", (grid,),
+        description=f"all workloads on {config.name}",
+    )
+
+
 def evaluate_design(
     config: NPUConfig,
     workloads: Optional[List[Network]] = None,
@@ -86,14 +114,40 @@ def evaluate_design(
     workloads = workloads if workloads is not None else all_workloads()
     estimate = runner.estimate(config, library)
     evaluation = DesignEvaluation(config=config, estimate=estimate)
-    tasks = [
-        SimTask(config, network, batch_for(config, network), library)
-        for network in workloads
-    ]
-    for network, run in zip(workloads, runner.run(tasks)):
-        evaluation.runs[network.name] = run
-        evaluation.power[network.name] = power_report(run, estimate)
+    resultset = execute(design_plan(config, workloads, library), runner=runner)
+    for network, result in zip(workloads, resultset):
+        evaluation.runs[network.name] = result.run
+        evaluation.power[network.name] = power_report(result.run, estimate)
     return evaluation
+
+
+def evaluate_plan(
+    designs: Optional[List[NPUConfig]] = None,
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    tpu: CMOSNPUConfig = TPU_CORE,
+) -> ExperimentPlan:
+    """Fig. 23's grids: the TPU baseline plus every SFQ design point."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    configs = tuple(designs) if designs is not None else tuple(all_designs())
+    grids = (
+        Grid("tpu", (
+            config_axis((tpu,)),
+            workload_axis(workloads),
+            batch_axis(("paper",)),
+        )),
+        Grid("designs", (
+            config_axis(configs),
+            workload_axis(workloads),
+            batch_axis(("auto",)),
+            library_axis((library,)),
+        )),
+    )
+    return ExperimentPlan(
+        "fig23_evaluate", grids,
+        description="Fig. 23: TPU baseline vs the four SFQ designs",
+    )
 
 
 def evaluate_suite(
@@ -105,43 +159,48 @@ def evaluate_suite(
 ) -> EvaluationSuite:
     """Run the whole Fig. 23 comparison.
 
-    All TPU-baseline and SFQ design-point simulations are submitted to
-    the runner as one task list, so ``jobs > 1`` parallelizes the entire
-    design x workload grid at once.
+    The TPU-baseline and SFQ design-point grids lower onto one plan whose
+    tasks reach the runner as a single list, so ``jobs > 1`` parallelizes
+    the entire design x workload grid at once.
     """
-    from repro.core.batching import paper_batch
-
     runner = runner or get_runner()
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
     configs = list(designs) if designs is not None else all_designs()
 
-    tasks = [
-        SimTask(tpu, network, paper_batch(tpu.name, network.name))
-        for network in workloads
-    ]
-    for config in configs:
-        tasks.extend(
-            SimTask(config, network, batch_for(config, network), library)
-            for network in workloads
-        )
-    results = runner.run(tasks)
-
+    resultset = execute(evaluate_plan(configs, workloads, library, tpu),
+                        runner=runner)
     tpu_runs = {
-        network.name: results[index] for index, network in enumerate(workloads)
+        network.name: result.run
+        for network, result in zip(workloads, resultset.select(grid="tpu"))
     }
     design_evals = []
-    cursor = len(workloads)
     for config in configs:
         estimate = runner.estimate(config, library)
         evaluation = DesignEvaluation(config=config, estimate=estimate)
-        for network in workloads:
-            run = results[cursor]
-            cursor += 1
-            evaluation.runs[network.name] = run
-            evaluation.power[network.name] = power_report(run, estimate)
+        for result in resultset.select(grid="designs", config=config.name):
+            evaluation.runs[result.run.network] = result.run
+            evaluation.power[result.run.network] = power_report(result.run, estimate)
         design_evals.append(evaluation)
     return EvaluationSuite(tpu_config=tpu, tpu_runs=tpu_runs, designs=design_evals)
+
+
+def table3_plan(design_name: str = "SuperNPU") -> ExperimentPlan:
+    """Table III's grids: the Fig. 23 suite plus RSFQ/ERSFQ chip runs."""
+    suite = evaluate_plan()
+    workloads = tuple(all_workloads())
+    config = design_by_name(design_name)
+    technologies = Grid("technologies", (
+        config_axis((config,)),
+        workload_axis(workloads),
+        batch_axis(("auto",)),
+        library_axis((library_for(Technology.RSFQ),
+                      library_for(Technology.ERSFQ))),
+    ))
+    return ExperimentPlan(
+        "table3_power", suite.grids + (technologies,),
+        description="Table III: perf/W of TPU vs RSFQ/ERSFQ SuperNPU",
+    )
 
 
 def table3_rows(

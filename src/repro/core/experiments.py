@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.device.cells import CellLibrary, Technology, library_for
+from repro.errors import ReproError, SimulationError
 from repro.workloads.models import Network, all_workloads
 
 
@@ -55,15 +56,42 @@ def _fig13(library: CellLibrary, workloads: List[Network]) -> object:
     }
 
 
-def _fig15(library: CellLibrary, workloads: List[Network]) -> object:
+def fig15_plan(
+    library: Optional[CellLibrary] = None,
+    workloads: Optional[List[Network]] = None,
+):
+    """Fig. 15's grid: the Baseline at batch 1 on every workload."""
     from repro.core.designs import baseline
-    from repro.estimator.arch_level import estimate_npu
-    from repro.simulator.engine import simulate
+    from repro.core.plan import (
+        ExperimentPlan,
+        Grid,
+        batch_axis,
+        config_axis,
+        library_axis,
+        workload_axis,
+    )
 
-    estimate = estimate_npu(baseline(), library)
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    grid = Grid("breakdown", (
+        config_axis((baseline(),)),
+        workload_axis(workloads),
+        batch_axis((1,)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "fig15_breakdown", (grid,),
+        description="Fig. 15: per-phase cycle breakdown of the Baseline",
+    )
+
+
+def _fig15(library: CellLibrary, workloads: List[Network]) -> object:
+    from repro.core.plan import execute
+
+    resultset = execute(fig15_plan(library, workloads))
     return {
-        network.name: simulate(baseline(), network, 1, estimate).cycle_breakdown()
-        for network in workloads
+        result.run.network: result.run.cycle_breakdown()
+        for result in resultset
     }
 
 
@@ -201,7 +229,19 @@ def reproduce_all(
 
     results: Dict[str, object] = {}
     for name in selected:
-        results[name] = registry[name](library, workloads)
+        try:
+            results[name] = registry[name](library, workloads)
+        except ReproError:
+            raise  # already structured; the experiment name is in the trace
+        except Exception as error:
+            raise SimulationError(
+                f"experiment {name!r} failed: {error}",
+                code="sim.experiment_failed",
+                hint="re-run with --only to isolate; completed experiments "
+                     "stay cached",
+                experiment=name,
+                completed=sorted(results),
+            ) from error
 
     if out_dir is not None:
         directory = Path(out_dir)

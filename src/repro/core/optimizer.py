@@ -18,7 +18,17 @@ from typing import Dict, List, Optional
 
 from repro.core.batching import derived_batch
 from repro.core.designs import baseline, buffer_opt
-from repro.core.jobs import SimTask, get_runner
+from repro.core.jobs import get_runner
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    ResultSet,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.uarch.config import MIB, NPUConfig
 from repro.uarch.pe import ProcessingElement
@@ -34,20 +44,11 @@ FIG21_WIDTHS = (256, 128, 64, 32, 16)
 FIG22_REGISTERS = (1, 2, 4, 8, 16, 32)
 
 
-def _mean_mac_per_s(
-    config: NPUConfig,
-    workloads: List[Network],
-    library: CellLibrary,
-    batch: Optional[int] = None,
-) -> float:
-    tasks = [
-        SimTask(config, network,
-                batch if batch is not None else derived_batch(config, network),
-                library)
-        for network in workloads
-    ]
-    runs = get_runner().run(tasks)
-    return sum(run.mac_per_s for run in runs) / len(workloads)
+def _mean(resultset: ResultSet, grid: str, config: NPUConfig,
+          count: int) -> float:
+    """Mean mac/s of one config's workload row in a sweep grid."""
+    selected = resultset.select(grid=grid, config=config.name)
+    return sum(r.run.mac_per_s for r in selected) / count
 
 
 @dataclass
@@ -59,6 +60,44 @@ class SweepPoint:
     metrics: Dict[str, float]
 
 
+def _fig20_configs(divisions: "tuple[int, ...]") -> List[NPUConfig]:
+    return [
+        buffer_opt().with_updates(
+            name=f"+Division {division}",
+            ifmap_division=division,
+            output_division=division,
+        )
+        for division in divisions
+    ]
+
+
+def buffer_plan(
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    divisions: "tuple[int, ...]" = FIG20_DIVISIONS,
+) -> ExperimentPlan:
+    """Fig. 20's grids: Baseline + division points at batch 1 and max batch."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    configs = _fig20_configs(divisions)
+    single = Grid("single", (
+        config_axis((baseline(),) + tuple(configs)),
+        workload_axis(workloads),
+        batch_axis((1,)),
+        library_axis((library,)),
+    ))
+    max_batch = Grid("max", (
+        config_axis(tuple(configs)),
+        workload_axis(workloads),
+        batch_axis(("derived",)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "fig20_buffers", (single, max_batch),
+        description="Fig. 20: buffer integration + division sweep",
+    )
+
+
 def buffer_sweep(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
@@ -68,8 +107,9 @@ def buffer_sweep(
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
 
+    resultset = execute(buffer_plan(workloads, library, divisions))
     base = baseline()
-    base_perf = _mean_mac_per_s(base, workloads, library, batch=1)
+    base_perf = _mean(resultset, "single", base, len(workloads))
     base_area = get_runner().estimate(base, library).area_mm2
 
     points = [
@@ -79,14 +119,9 @@ def buffer_sweep(
             {"single_batch": 1.0, "max_batch": 1.0, "area": 1.0},
         )
     ]
-    for division in divisions:
-        config = buffer_opt().with_updates(
-            name=f"+Division {division}",
-            ifmap_division=division,
-            output_division=division,
-        )
-        single = _mean_mac_per_s(config, workloads, library, batch=1)
-        max_batch = _mean_mac_per_s(config, workloads, library)
+    for division, config in zip(divisions, _fig20_configs(divisions)):
+        single = _mean(resultset, "single", config, len(workloads))
+        max_batch = _mean(resultset, "max", config, len(workloads))
         area = get_runner().estimate(config, library).area_mm2
         label = "+Integration (Division 2)" if division == 2 else f"+Division {division}"
         points.append(
@@ -161,6 +196,31 @@ def resource_config(
     )
 
 
+def resource_plan(
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    widths: "tuple[int, ...]" = FIG21_WIDTHS,
+) -> ExperimentPlan:
+    """Fig. 21's grids: Baseline plus fixed-/added-buffer width ladders."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    fixed = tuple(resource_config(w, buffer_bytes=24 * MIB, library=library)
+                  for w in widths)
+    added = tuple(resource_config(w, library=library) for w in widths)
+    grids = (
+        Grid("baseline", (config_axis((baseline(),)), workload_axis(workloads),
+                          batch_axis((1,)), library_axis((library,)))),
+        Grid("fixed", (config_axis(fixed), workload_axis(workloads),
+                       batch_axis(("derived",)), library_axis((library,)))),
+        Grid("added", (config_axis(added), workload_axis(workloads),
+                       batch_axis(("derived",)), library_axis((library,)))),
+    )
+    return ExperimentPlan(
+        "fig21_resources", grids,
+        description="Fig. 21: PE-array width vs reinvested buffer capacity",
+    )
+
+
 def resource_sweep(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
@@ -169,14 +229,15 @@ def resource_sweep(
     """Fig. 21: PE-array width vs buffer capacity, normalized to Baseline."""
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
-    base_perf = _mean_mac_per_s(baseline(), workloads, library, batch=1)
+    resultset = execute(resource_plan(workloads, library, widths))
+    base_perf = _mean(resultset, "baseline", baseline(), len(workloads))
 
     points = []
     for width in widths:
         fixed = resource_config(width, buffer_bytes=24 * MIB, library=library)
         added = resource_config(width, library=library)
-        perf_fixed = _mean_mac_per_s(fixed, workloads, library)
-        perf_added = _mean_mac_per_s(added, workloads, library)
+        perf_fixed = _mean(resultset, "fixed", fixed, len(workloads))
+        perf_added = _mean(resultset, "added", added, len(workloads))
         intensity = sum(
             derived_batch(added, network) * _mean_output_pixels(network)
             for network in workloads
@@ -195,6 +256,32 @@ def resource_sweep(
     return points
 
 
+def register_plan(
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    widths: "tuple[int, ...]" = (64, 128),
+    registers: "tuple[int, ...]" = FIG22_REGISTERS,
+) -> ExperimentPlan:
+    """Fig. 22's grids: Baseline plus every width x register design point."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    configs = tuple(
+        resource_config(width, registers=regs, library=library)
+        for width in widths
+        for regs in registers
+    )
+    grids = (
+        Grid("baseline", (config_axis((baseline(),)), workload_axis(workloads),
+                          batch_axis((1,)), library_axis((library,)))),
+        Grid("points", (config_axis(configs), workload_axis(workloads),
+                        batch_axis(("derived",)), library_axis((library,)))),
+    )
+    return ExperimentPlan(
+        "fig22_registers", grids,
+        description="Fig. 22: weight registers per PE, 64/128-wide arrays",
+    )
+
+
 def register_sweep(
     workloads: Optional[List[Network]] = None,
     library: Optional[CellLibrary] = None,
@@ -204,14 +291,15 @@ def register_sweep(
     """Fig. 22: registers per PE for each array width, vs Baseline."""
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
-    base_perf = _mean_mac_per_s(baseline(), workloads, library, batch=1)
+    resultset = execute(register_plan(workloads, library, widths, registers))
+    base_perf = _mean(resultset, "baseline", baseline(), len(workloads))
 
     result: Dict[int, List[SweepPoint]] = {}
     for width in widths:
         rows = []
         for regs in registers:
             config = resource_config(width, registers=regs, library=library)
-            perf = _mean_mac_per_s(config, workloads, library)
+            perf = _mean(resultset, "points", config, len(workloads))
             rows.append(
                 SweepPoint(
                     f"width {width}, {regs} regs",

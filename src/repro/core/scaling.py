@@ -13,9 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.jobs import get_runner
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    config_axis,
+    execute,
+    library_axis,
+    param_axis,
+)
 from repro.device.cells import CellLibrary, rsfq_library
 from repro.device.process import AIST_10UM, FabricationProcess
-from repro.estimator.arch_level import NPUEstimate, estimate_npu
+from repro.estimator.arch_level import NPUEstimate
 from repro.uarch.config import NPUConfig
 
 
@@ -39,6 +48,7 @@ def project(
     target_feature_um: float,
     library: Optional[CellLibrary] = None,
     process: FabricationProcess = AIST_10UM,
+    estimate: Optional[NPUEstimate] = None,
 ) -> ScaledProjection:
     """Project ``config`` to ``target_feature_um``.
 
@@ -50,9 +60,12 @@ def project(
     * static power is held constant per junction (bias currents do not
       shrink with lithography in the simple model) — a conservative choice
       that keeps the RSFQ-power conclusion intact at every node.
+
+    The base estimate resolves through the ambient job runner (cached,
+    exact) unless one is passed in.
     """
     library = library or rsfq_library()
-    base: NPUEstimate = estimate_npu(config, library)
+    base: NPUEstimate = estimate or get_runner().estimate(config, library)
     freq_gain = process.frequency_scale_factor(target_feature_um)
     area_gain = process.area_scale_factor(target_feature_um)
     frequency = base.frequency_ghz * freq_gain
@@ -65,6 +78,24 @@ def project(
     )
 
 
+def scaling_plan(
+    config: NPUConfig,
+    features_um: "tuple[float, ...]" = (1.0, 0.5, 0.25, 0.2, 0.1, 0.028),
+    library: Optional[CellLibrary] = None,
+) -> ExperimentPlan:
+    """The node ladder as an estimate grid (no cycle simulation needed)."""
+    library = library or rsfq_library()
+    grid = Grid("nodes", (
+        config_axis((config,)),
+        library_axis((library,)),
+        param_axis("feature_um", tuple(features_um)),
+    ), kind="estimate")
+    return ExperimentPlan(
+        "process_scaling", (grid,),
+        description="frequency/area projection across fabrication nodes",
+    )
+
+
 def scaling_sweep(
     config: NPUConfig,
     features_um: "tuple[float, ...]" = (1.0, 0.5, 0.25, 0.2, 0.1, 0.028),
@@ -72,4 +103,9 @@ def scaling_sweep(
 ) -> List[ScaledProjection]:
     """Project a design across a ladder of nodes down to 28 nm CMOS parity."""
     library = library or rsfq_library()
-    return [project(config, feature, library) for feature in features_um]
+    resultset = execute(scaling_plan(config, features_um, library))
+    return [
+        project(config, result.param("feature_um"), library,
+                estimate=result.estimate)
+        for result in resultset
+    ]

@@ -16,9 +16,17 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro import obs
-from repro.core.batching import derived_batch
-from repro.core.jobs import JobRunner, SimTask, get_runner
+from repro.core.jobs import JobRunner, get_runner
 from repro.core.optimizer import resource_config
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import ConfigError
 from repro.uarch.config import NPUConfig
@@ -63,6 +71,34 @@ def _candidate_config(width: int, division: int, registers: int,
     )
 
 
+def search_plan(
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    divisions: Sequence[int] = DEFAULT_DIVISIONS,
+    registers: Sequence[int] = DEFAULT_REGISTERS,
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+) -> ExperimentPlan:
+    """The exhaustive width x division x registers candidate grid."""
+    library = library or library_for(Technology.RSFQ)
+    workloads = workloads if workloads is not None else all_workloads()
+    configs = tuple(
+        _candidate_config(width, division, regs, library)
+        for width in widths
+        for division in divisions
+        for regs in registers
+    )
+    grid = Grid("candidates", (
+        config_axis(configs),
+        workload_axis(tuple(workloads)),
+        batch_axis(("derived",)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "search", (grid,),
+        description="exhaustive design-space search under the TPU area budget",
+    )
+
+
 def search(
     widths: Sequence[int] = DEFAULT_WIDTHS,
     divisions: Sequence[int] = DEFAULT_DIVISIONS,
@@ -74,9 +110,9 @@ def search(
 ) -> List[Candidate]:
     """Exhaustive sweep; returns in-budget candidates, best first.
 
-    The full candidate x workload grid goes to the runner as one task
-    list — the search is embarrassingly parallel and every design point
-    is individually cacheable.
+    The full candidate x workload grid lowers onto one plan, so the
+    search is embarrassingly parallel and every design point is
+    individually cacheable.
     """
     if area_budget_mm2 <= 0:
         raise ConfigError("area budget must be positive",
@@ -85,41 +121,28 @@ def search(
     library = library or library_for(Technology.RSFQ)
     workloads = workloads if workloads is not None else all_workloads()
 
-    points = [
-        (width, division, regs)
-        for width in widths
-        for division in divisions
-        for regs in registers
-    ]
+    plan = search_plan(widths, divisions, registers, workloads, library)
+    configs = plan.grids[0].axes[0].values
     candidates: List[Candidate] = []
-    with obs.trace_span("search", points=len(points)):
+    with obs.trace_span("search", points=len(configs)):
         entries = []
-        for width, division, regs in points:
-            config = _candidate_config(width, division, regs, library)
+        for config in configs:
             with obs.trace_span("search/candidate", design=config.name):
                 entries.append((config, runner.estimate(config, library)))
-        tasks = [
-            SimTask(config, network, derived_batch(config, network), library)
-            for config, _ in entries
-            for network in workloads
-        ]
-        results = runner.run(tasks)
-        cursor = 0
+        resultset = execute(plan, runner=runner)
         for done, (config, estimate) in enumerate(entries):
-            total = 0.0
-            for _ in workloads:
-                total += results[cursor].mac_per_s
-                cursor += 1
+            selected = resultset.select(grid="candidates", config=config.name)
             candidates.append(
                 Candidate(
                     config=config,
-                    mean_mac_per_s=total / len(workloads),
+                    mean_mac_per_s=sum(r.run.mac_per_s for r in selected)
+                    / len(workloads),
                     area_mm2_28nm=estimate.area_mm2_scaled(),
                     peak_tmacs=estimate.peak_tmacs,
                 )
             )
             obs.counter("search.candidates_evaluated").inc()
-            obs.gauge("search.progress").set((done + 1) / len(points))
+            obs.gauge("search.progress").set((done + 1) / len(configs))
     feasible = [c for c in candidates if c.area_mm2_28nm <= area_budget_mm2]
     feasible.sort(key=lambda c: c.mean_mac_per_s, reverse=True)
     return feasible

@@ -16,14 +16,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE, simulate_cmos
+from repro.baselines.scalesim import CMOSNPUConfig, TPU_CORE
 from repro.cooling.cryocooler import Cryocooler, carnot_cooling_factor
-from repro.core.batching import paper_batch
 from repro.core.designs import supernpu
+from repro.core.jobs import get_runner
 from repro.core.metrics import efficiency_row
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
 from repro.device.cells import CellLibrary, Technology, library_for
-from repro.estimator.arch_level import estimate_npu
-from repro.simulator.engine import simulate
 from repro.simulator.power import power_report
 from repro.uarch.config import NPUConfig
 from repro.workloads.models import Network, all_workloads
@@ -40,6 +47,52 @@ class BandwidthPoint:
         return self.sfq_tmacs / self.tpu_tmacs
 
 
+def bandwidth_plan(
+    bandwidths_gbps: "tuple[float, ...]" = (100, 300, 600, 1200, 2400),
+    config: Optional[NPUConfig] = None,
+    workloads: Optional[List[Network]] = None,
+    library: Optional[CellLibrary] = None,
+) -> ExperimentPlan:
+    """Bandwidth-sweep grids: SuperNPU and the TPU at each shared bandwidth.
+
+    The swept configs keep their design names (renaming would change both
+    the Table II batch lookup and the cache identity), so the config axes
+    carry explicit per-bandwidth labels.
+    """
+    config = config or supernpu()
+    workloads = tuple(workloads if workloads is not None else all_workloads())
+    library = library or library_for(Technology.RSFQ)
+    labels = tuple(f"{float(b):g}" for b in bandwidths_gbps)
+    sfq_configs = tuple(
+        config.with_updates(memory_bandwidth_gbps=float(b))
+        for b in bandwidths_gbps
+    )
+    tpu_configs = tuple(
+        CMOSNPUConfig(
+            memory_bandwidth_gbps=float(b),
+            onchip_buffer_bytes=TPU_CORE.onchip_buffer_bytes,
+        )
+        for b in bandwidths_gbps
+    )
+    grids = (
+        Grid("sfq", (
+            config_axis(sfq_configs, name="bandwidth", labels=labels),
+            workload_axis(workloads),
+            batch_axis(("paper",)),
+            library_axis((library,)),
+        )),
+        Grid("tpu", (
+            config_axis(tpu_configs, name="bandwidth", labels=labels),
+            workload_axis(workloads),
+            batch_axis(("paper",)),
+        )),
+    )
+    return ExperimentPlan(
+        "bandwidth_sensitivity", grids,
+        description="SuperNPU vs TPU mean throughput per shared DRAM bandwidth",
+    )
+
+
 def bandwidth_sweep(
     bandwidths_gbps: "tuple[float, ...]" = (100, 300, 600, 1200, 2400),
     config: Optional[NPUConfig] = None,
@@ -47,29 +100,20 @@ def bandwidth_sweep(
     library: Optional[CellLibrary] = None,
 ) -> List[BandwidthPoint]:
     """Mean throughput of SuperNPU and the TPU at each shared bandwidth."""
-    config = config or supernpu()
     workloads = workloads if workloads is not None else all_workloads()
-    library = library or library_for(Technology.RSFQ)
+    plan = bandwidth_plan(bandwidths_gbps, config, workloads, library)
+    resultset = execute(plan)
     points = []
     for bandwidth in bandwidths_gbps:
-        sfq_config = config.with_updates(memory_bandwidth_gbps=float(bandwidth))
-        estimate = estimate_npu(sfq_config, library)
-        tpu_config = CMOSNPUConfig(
-            memory_bandwidth_gbps=float(bandwidth),
-            onchip_buffer_bytes=TPU_CORE.onchip_buffer_bytes,
+        label = f"{float(bandwidth):g}"
+        sfq_total = sum(
+            r.run.mac_per_s
+            for r in resultset.select(grid="sfq", bandwidth=label)
         )
-        sfq_total = 0.0
-        tpu_total = 0.0
-        for network in workloads:
-            sfq = simulate(
-                sfq_config, network,
-                batch=paper_batch(config.name, network.name), estimate=estimate,
-            )
-            tpu = simulate_cmos(
-                tpu_config, network, batch=paper_batch("TPU", network.name)
-            )
-            sfq_total += sfq.mac_per_s
-            tpu_total += tpu.mac_per_s
+        tpu_total = sum(
+            r.run.mac_per_s
+            for r in resultset.select(grid="tpu", bandwidth=label)
+        )
         points.append(
             BandwidthPoint(
                 bandwidth_gbps=float(bandwidth),
@@ -87,6 +131,36 @@ class CoolingPoint:
     ersfq_perf_per_watt: float
 
 
+def cooling_plan(
+    network: Optional[Network] = None,
+    config: Optional[NPUConfig] = None,
+) -> ExperimentPlan:
+    """Cooling-sweep grids: the TPU reference plus RSFQ/ERSFQ chips."""
+    config = config or supernpu()
+    if network is None:
+        from repro.workloads.models import resnet50
+
+        network = resnet50()
+    grids = (
+        Grid("tpu", (
+            config_axis((TPU_CORE,)),
+            workload_axis((network,)),
+            batch_axis(("paper",)),
+        )),
+        Grid("chips", (
+            config_axis((config,)),
+            workload_axis((network,)),
+            batch_axis(("paper",)),
+            library_axis((library_for(Technology.RSFQ),
+                          library_for(Technology.ERSFQ))),
+        )),
+    )
+    return ExperimentPlan(
+        "cooling_sensitivity", grids,
+        description="RSFQ/ERSFQ perf-per-watt vs cryocooler efficiency",
+    )
+
+
 def cooling_sweep(
     factors: "tuple[float, ...]" = (100, 200, 400, 1000),
     include_carnot: bool = True,
@@ -95,21 +169,16 @@ def cooling_sweep(
 ) -> List[CoolingPoint]:
     """Normalized perf/W (vs TPU) of both technologies per cooling factor."""
     config = config or supernpu()
-    if network is None:
-        from repro.workloads.models import resnet50
-
-        network = resnet50()
-    tpu = simulate_cmos(TPU_CORE, network, batch=paper_batch("TPU", network.name))
+    resultset = execute(cooling_plan(network, config))
+    tpu = resultset.one(grid="tpu").run
     tpu_row = efficiency_row("TPU", TPU_CORE.average_power_w, tpu.mac_per_s, cooler=None)
 
+    runner = get_runner()
     chips = {}
     for technology in (Technology.RSFQ, Technology.ERSFQ):
         library = library_for(technology)
-        estimate = estimate_npu(config, library)
-        run = simulate(
-            config, network,
-            batch=paper_batch(config.name, network.name), estimate=estimate,
-        )
+        estimate = runner.estimate(config, library)
+        run = resultset.one(grid="chips", library=technology.value).run
         chips[technology] = (power_report(run, estimate).total_w, run.mac_per_s)
 
     sweep = list(factors)

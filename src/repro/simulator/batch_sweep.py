@@ -21,6 +21,7 @@ from repro.workloads.models import Network
 
 if TYPE_CHECKING:  # jobs imports the simulator; avoid the import cycle here
     from repro.core.jobs import JobRunner
+    from repro.core.plan import ExperimentPlan
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,40 @@ class BatchPoint:
         return self.latency_s / self.batch
 
 
+def batch_plan(
+    config: NPUConfig,
+    network: Network,
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 30),
+    library: Optional[CellLibrary] = None,
+) -> "ExperimentPlan":
+    """The throughput-vs-batch curve as a one-grid plan (batch axis)."""
+    from repro.core.plan import (
+        ExperimentPlan,
+        Grid,
+        batch_axis,
+        config_axis,
+        library_axis,
+        workload_axis,
+    )
+
+    if not batches:
+        raise ConfigError("need at least one batch size",
+                          code="config.empty_sweep")
+    if any(b < 1 for b in batches):
+        raise ConfigError("batch sizes must be positive",
+                          code="config.invalid_batch")
+    grid = Grid("curve", (
+        config_axis((config,)),
+        workload_axis((network,)),
+        batch_axis(tuple(batches)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "batch_knee", (grid,),
+        description="throughput/latency vs batch size (knee location)",
+    )
+
+
 def batch_sweep(
     config: NPUConfig,
     network: Network,
@@ -50,10 +85,10 @@ def batch_sweep(
 ) -> List[BatchPoint]:
     """Simulate ``network`` at each batch size.
 
-    The sweep goes through the ambient (or given) job runner, so the
-    per-batch simulations parallelize and cache.  Passing an explicit
-    ``estimate`` bypasses the runner: a hand-built estimate is not
-    reconstructible from a cache key, so those runs are simulated
+    The sweep lowers onto a plan executed by the ambient (or given) job
+    runner, so the per-batch simulations parallelize and cache.  Passing
+    an explicit ``estimate`` bypasses the runner: a hand-built estimate
+    is not reconstructible from a cache key, so those runs are simulated
     directly, serially.
     """
     if not batches:
@@ -67,11 +102,11 @@ def batch_sweep(
             _point(simulate(config, network, batch=batch, estimate=estimate))
             for batch in batches
         ]
-    from repro.core.jobs import SimTask, get_runner
+    from repro.core.plan import execute
 
-    runner = runner or get_runner()
-    tasks = [SimTask(config, network, batch, library) for batch in batches]
-    return [_point(run) for run in runner.run(tasks)]
+    resultset = execute(batch_plan(config, network, batches, library),
+                        runner=runner)
+    return [_point(result.run) for result in resultset]
 
 
 def _point(run) -> BatchPoint:

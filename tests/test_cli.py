@@ -470,3 +470,56 @@ def test_trace_config_file_flag(tmp_path, capsys):
     assert main(["trace", "baseline", "vgg16", "conv3_1",
                  "--config-file", str(path)]) == 0
     assert "my-npu / VGG16 / conv3_1" in capsys.readouterr().out
+
+
+def test_plan_list_command(capsys):
+    assert main(["plan", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig23_evaluate" in out and "batch_knee" in out
+
+
+def test_plan_show_command(capsys):
+    assert main(["plan", "show", "batch_knee"]) == 0
+    out = capsys.readouterr().out
+    assert "plan batch_knee: 6 points" in out
+    assert "unique simulations" in out
+
+
+def test_plan_show_without_name_exits_2(capsys):
+    assert main(["plan", "show"]) == 2
+    assert "known plans" in capsys.readouterr().err
+
+
+def test_plan_unknown_name_exits_2(capsys):
+    assert main(["plan", "show", "fig99"]) == 2
+    assert "unknown plan" in capsys.readouterr().err
+
+
+def test_plan_run_warm_cache_executes_nothing(tmp_path, capsys):
+    import json
+
+    cache = str(tmp_path / "cache")
+    metrics = tmp_path / "metrics.json"
+    assert main(["plan", "run", "batch_knee", "--cache-dir", cache]) == 0
+    assert "6 points (0 cached, 6 executed)" in capsys.readouterr().out
+    assert main(["plan", "run", "batch_knee", "--cache-dir", cache,
+                 "--metrics-out", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "6 points (6 cached, 0 executed)" in out
+    document = json.loads(metrics.read_text())
+    counters = document["metrics"]["counters"]
+    assert counters["plan.points_cached"] == counters["plan.points_total"]
+    assert counters["plan.points_executed"] == 0
+    assert document["manifest"]["plan"] == "batch_knee"
+    assert len(document["manifest"]["plan_hash"]) == 64
+
+
+def test_plan_run_json_envelope(tmp_path, capsys):
+    import json
+
+    assert main(["plan", "run", "batch_knee", "--json",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["command"] == "plan"
+    assert document["data"]["points_total"] == 6
+    assert len(document["data"]["records"]) == 6
