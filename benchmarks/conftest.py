@@ -42,6 +42,21 @@ def bench_metrics_snapshot():
         obs.reset()
 
 
+def pytest_runtest_logreport(report):
+    """Fold per-test outcomes into the session's obs snapshot.
+
+    ``bench.tests`` counts passed call phases and ``bench.test_seconds``
+    histograms their durations, so a BENCH recording carries how many
+    benchmarks ran and their end-to-end (not just timed-region) cost.
+    """
+    if report.when != "call" or not report.passed:
+        return
+    from repro import obs
+
+    obs.counter("bench.tests").inc()
+    obs.histogram("bench.test_seconds").observe(report.duration)
+
+
 @pytest.fixture(scope="session")
 def rsfq():
     from repro.device.cells import rsfq_library

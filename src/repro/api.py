@@ -57,6 +57,8 @@ from repro.core.plan import (
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import ConfigError, InvalidSpecError, InvalidWorkloadSpecError
 from repro.estimator.arch_level import NPUEstimate
+from repro.obs.progress import ProgressReporter
+from repro.obs.registry import RunRegistry
 from repro.obs.timeline import CycleTimeline
 from repro.simulator.results import SimulationResult
 from repro.uarch.config import NPUConfig
@@ -87,7 +89,9 @@ __all__ = [
     "ExperimentPlan",
     "ResultSet",
     "JobRunner",
+    "ProgressReporter",
     "ResultCache",
+    "RunRegistry",
     "SimTask",
     "get_runner",
     "session",

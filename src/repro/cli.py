@@ -15,6 +15,12 @@ Commands mirror the paper's experiments:
   figure/table lowers onto: inspect a plan's grids, dry-run-count its
   unique simulation tasks (and how many are already cached), or execute
   it directly through the job engine
+* ``bench run|compare`` — record the ``benchmarks/`` suite into a
+  schema-versioned ``BENCH_<git-sha>.json`` and compare two recordings
+  with thresholded regression verdicts (nonzero exit on regression)
+* ``runs list|show|diff`` — query the persistent run registry; every
+  invocation is recorded there (``~/.supernpu/runs/`` by default;
+  ``--runs-dir DIR`` overrides, ``--no-registry`` opts out)
 
 ``simulate``, ``evaluate``, ``sweep``, ``compare``, ``reproduce``,
 ``bottleneck`` and ``profile`` accept ``--trace-out FILE`` (Chrome
@@ -77,9 +83,8 @@ class _ObsSession:
     def finish(self, config=None, network=None, batch=None, technology=None,
                keep_enabled: bool = False, **extra):
         """Write the requested outputs; returns the manifest (or None)."""
-        if not self.active:
-            return None
         from repro import obs
+        from repro.obs import registry as run_registry
 
         manifest = obs.RunManifest.capture(
             self.command,
@@ -90,12 +95,23 @@ class _ObsSession:
             wall_time_s=time.perf_counter() - self._start,
             **extra,
         )
+        if not self.active:
+            # Manifest capture is pure (no instrumentation needed), so the
+            # run registry gets design/workload provenance even when the
+            # obs runtime stayed off; counters exist only when it was on.
+            run_registry.stage(manifest=manifest.to_dict())
+            return None
         if self.metrics_out:
             obs.write_metrics(self.metrics_out, manifest=manifest)
             print(f"metrics written to {self.metrics_out}")
         if self.trace_out:
             obs.write_trace(self.trace_out, manifest=manifest)
             print(f"trace written to {self.trace_out}")
+        # Stage manifest + metrics for the run registry before the global
+        # state is reset; main() finalizes the entry with exit code and
+        # wall time once the command returns.
+        run_registry.stage(manifest=manifest.to_dict(),
+                           metrics=obs.metrics().snapshot())
         if not keep_enabled:
             obs.disable()
             obs.reset()
@@ -140,11 +156,16 @@ def _jobs_session(args: argparse.Namespace):
                            / f"{args.command}.journal")
     retry = RetryPolicy(max_retries=getattr(args, "retries", 2))
     timeout_s = getattr(args, "task_timeout", None)
+    # Live progress goes to stderr only, so sweep stdout (tables, JSON
+    # envelopes) stays bitwise-identical with progress on or off.
+    from repro.obs.progress import auto_reporter
+
+    reporter = auto_reporter(getattr(args, "progress", None))
     # Summary lines go to stderr under --json so stdout stays one document.
     stream = sys.stderr if getattr(args, "json", False) else sys.stdout
     with jobs.session(jobs=workers, cache_dir=cache_dir, retry=retry,
-                      timeout_s=timeout_s,
-                      checkpoint_path=checkpoint_path) as runner:
+                      timeout_s=timeout_s, checkpoint_path=checkpoint_path,
+                      progress=reporter) as runner:
         yield runner
         if runner.cache is not None:
             print(f"cache [{runner.cache.root}]: {runner.stats.describe()}",
@@ -153,6 +174,15 @@ def _jobs_session(args: argparse.Namespace):
             print(f"jobs: {workers} workers, "
                   f"{runner.stats.parallel_speedup:.2f}x aggregate-sim-time speedup",
                   file=stream)
+        stats = runner.stats
+        if stats.tasks > 1:
+            # One-line sweep summary, always on stderr (satellite of the
+            # progress stream; never part of a command's stdout contract).
+            print(f"summary: {stats.tasks} tasks ({stats.executed} run, "
+                  f"{stats.hits} cached, {stats.retries} retried), "
+                  f"{stats.elapsed_seconds:.1f}s wall, "
+                  f"{100 * stats.hit_rate:.0f}% cache hit-rate",
+                  file=sys.stderr)
 
 
 def _print_envelope(command: str, data, *, config=None, network=None,
@@ -905,6 +935,143 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_bench_comparison(comparison) -> None:
+    """Per-benchmark verdict table + one summary line."""
+    print(f"{'benchmark':<58s} {'base ms':>10s} {'new ms':>10s} "
+          f"{'ratio':>7s}  verdict")
+    for delta in comparison.deltas:
+        base_ms = "-" if delta.base_s is None else f"{delta.base_s * 1e3:.3f}"
+        new_ms = "-" if delta.new_s is None else f"{delta.new_s * 1e3:.3f}"
+        ratio = "-" if delta.ratio is None else f"{delta.ratio:.2f}x"
+        print(f"{delta.name:<58s} {base_ms:>10s} {new_ms:>10s} "
+              f"{ratio:>7s}  {delta.verdict}")
+    print(f"bench compare [{comparison.base_sha} -> {comparison.new_sha}]: "
+          f"{len(comparison.regressions)} regressions, "
+          f"{len(comparison.improvements)} improvements "
+          f"(threshold {comparison.threshold:g}x on min wall time)")
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Record the benchmark suite / gate a recording against a baseline."""
+    import json
+
+    from repro.errors import ConfigError
+    from repro.obs import bench
+
+    if args.action == "run":
+        document = bench.run_benchmarks(
+            args.subset, min_rounds=args.min_rounds, max_time_s=args.max_time)
+        path = bench.write_document(document, path=args.out)
+        if args.json:
+            _print_envelope("bench", document, action="run", subset=args.subset)
+        else:
+            print(f"bench [{document['git_sha']}]: "
+                  f"{len(document['benchmarks'])} benchmarks "
+                  f"({args.subset}) -> {path}")
+            for name in sorted(document["benchmarks"]):
+                stats = document["benchmarks"][name]
+                print(f"  {name:<58s} min {stats['min_s'] * 1e3:9.3f} ms  "
+                      f"mean {stats['mean_s'] * 1e3:9.3f} ms  "
+                      f"({stats['rounds']} rounds)")
+        return 0
+
+    # compare: candidate vs an explicit --baseline or the newest committed one
+    if not args.target:
+        raise ConfigError(
+            "'bench compare' needs a candidate BENCH_*.json",
+            code="bench.missing_candidate",
+            hint="record one with 'supernpu bench run --out FILE'",
+        )
+    candidate = bench.load_document(args.target)
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = bench.find_baseline(exclude=[args.target])
+        if baseline_path is None:
+            raise ConfigError(
+                "no baseline BENCH_*.json found at the repo root",
+                code="bench.no_baseline",
+                hint="pass --baseline FILE or commit a baseline recording",
+            )
+    baseline = bench.load_document(baseline_path)
+    comparison = bench.compare_documents(baseline, candidate,
+                                         threshold=args.threshold)
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_bench_comparison(comparison)
+    return 0 if comparison.ok else 1
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Query the persistent run registry (list / show / diff)."""
+    import json
+
+    from repro.errors import ConfigError
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(getattr(args, "runs_dir", None))
+
+    if args.action == "list":
+        entries, corrupt = registry.entries(limit=args.limit)
+        if args.json:
+            _print_envelope("runs", {
+                "runs": [entry.to_dict() for entry in entries],
+                "corrupt_skipped": corrupt,
+            }, action="list")
+            return 0
+        print(f"runs [{registry.root}]: {len(entries)} shown")
+        widths = [30, 4, 9, 20]
+        print(_fmt_row(["run", "exit", "wall (s)", "recorded"], widths)
+              + "  command")
+        for entry in entries:
+            wall = "-" if entry.wall_time_s is None else f"{entry.wall_time_s:.2f}"
+            exit_code = "?" if entry.exit_code is None else str(entry.exit_code)
+            when = time.strftime("%Y-%m-%d %H:%M:%S",
+                                 time.localtime(entry.created_unix))
+            command = " ".join(entry.argv) if entry.argv else entry.command
+            print(_fmt_row([entry.run_id, exit_code, wall, when], widths)
+                  + f"  {command}")
+        if corrupt:
+            print(f"({corrupt} corrupt entries skipped)")
+        return 0
+
+    if args.action == "show":
+        if len(args.ids) != 1:
+            raise ConfigError("'runs show' needs exactly one run id",
+                              code="registry.bad_query",
+                              hint="see 'supernpu runs list'")
+        entry = registry.get(args.ids[0])
+        if args.json:
+            _print_envelope("runs", entry.to_dict(), action="show")
+        else:
+            print(entry.describe())
+        return 0
+
+    # diff
+    if len(args.ids) != 2:
+        raise ConfigError("'runs diff' needs two run ids",
+                          code="registry.bad_query",
+                          hint="see 'supernpu runs list'")
+    difference = registry.diff(args.ids[0], args.ids[1])
+    if args.json:
+        _print_envelope("runs", difference, action="diff")
+        return 0
+    print(f"runs diff: {difference['a']} -> {difference['b']}")
+    if difference["wall_time_delta_s"] is not None:
+        print(f"  wall time   : {difference['wall_time_delta_s']:+.3f} s")
+    for name, change in difference["fields"].items():
+        print(f"  {name:12s}: {change['a']} -> {change['b']}")
+    if difference["counters"]:
+        print("  counters:")
+        for name, change in difference["counters"].items():
+            print(f"    {name:32s} {change['a']:>14,} -> {change['b']:>14,} "
+                  f"({change['delta']:+,})")
+    if not (difference["fields"] or difference["counters"]
+            or difference["wall_time_delta_s"] is not None):
+        print("  (no differences recorded)")
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of this run "
@@ -929,6 +1096,12 @@ def _add_jobs_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="wall-clock limit per simulation task when "
                              "--jobs > 1; a hung task is killed and retried")
+    parser.add_argument("--progress", dest="progress", action="store_true",
+                        default=None,
+                        help="stream live sweep progress (task counts, ETA) "
+                             "to stderr; default: only when stderr is a tty")
+    parser.add_argument("--no-progress", dest="progress", action="store_false",
+                        help="never stream sweep progress")
 
 
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
@@ -945,6 +1118,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--debug", action="store_true",
                         help="show full tracebacks instead of one-line errors")
+    parser.add_argument("--runs-dir", metavar="DIR", default=None,
+                        help="run-registry directory (default: "
+                             "$SUPERNPU_RUNS_DIR or ~/.supernpu/runs)")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="do not record this invocation in the run registry")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_est = sub.add_parser("estimate", help="frequency / power / area of a design")
@@ -1091,26 +1269,93 @@ def build_parser() -> argparse.ArgumentParser:
                          help="the cache directory to inspect / clear")
     p_cache.set_defaults(func=cmd_cache)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="record the benchmark suite as BENCH_<sha>.json / compare "
+             "two recordings with a regression gate",
+    )
+    p_bench.add_argument("action", choices=["run", "compare"])
+    p_bench.add_argument("target", nargs="?", default=None,
+                         help="for 'compare': the candidate BENCH_*.json")
+    p_bench.add_argument("--subset", default="all",
+                         help="named subset (all, smoke, figures, ablation, "
+                              "extensions) or comma-separated name fragments")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="where to write the recording "
+                              "(default: BENCH_<git-sha>.json at the repo root)")
+    p_bench.add_argument("--min-rounds", type=int, default=3, metavar="N",
+                         help="pytest-benchmark rounds per benchmark (default 3)")
+    p_bench.add_argument("--max-time", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="pytest-benchmark time budget per benchmark "
+                              "(default 0.5)")
+    p_bench.add_argument("--baseline", metavar="FILE", default=None,
+                         help="for 'compare': explicit baseline recording "
+                              "(default: newest BENCH_*.json at the repo root)")
+    p_bench.add_argument("--threshold", type=float, default=1.5, metavar="X",
+                         help="regression threshold on the min-wall-time "
+                              "ratio (default 1.5)")
+    _add_json_flag(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the persistent run registry"
+    )
+    p_runs.add_argument("action", choices=["list", "show", "diff"],
+                        help="list recorded invocations, show one entry, or "
+                             "diff two entries (fields, counters, wall time)")
+    p_runs.add_argument("ids", nargs="*", default=[],
+                        help="run id (show) or two run ids (diff); unique "
+                             "prefixes are accepted")
+    p_runs.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="how many entries 'list' shows (default 20)")
+    _add_json_flag(p_runs)
+    p_runs.set_defaults(func=cmd_runs)
+
     return parser
 
 
 def main(argv: List[str] | None = None) -> int:
     from repro.errors import ReproError
+    from repro.obs import registry as run_registry
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    argv_list = list(sys.argv[1:] if argv is None else argv)
+    started = time.perf_counter()
+    mark = _plan_mark()
+    exit_code: Optional[int] = None
     try:
-        return args.func(args)
+        exit_code = args.func(args)
+        return exit_code
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (e.g. head).
-        return 0
+        exit_code = 0
+        return exit_code
     except ReproError as error:
         if args.debug:
             raise
         print(f"error: {error.message}", file=sys.stderr)
         if error.hint:
             print(f"hint: {error.hint}", file=sys.stderr)
-        return error.exit_code
+        exit_code = error.exit_code
+        return exit_code
+    finally:
+        # Every invocation lands in the run registry (best-effort; a full
+        # disk never turns a successful command into a failure).  The
+        # registry's own query command is not recorded — listing history
+        # should not grow it.
+        if args.command != "runs" and not args.no_registry:
+            run_registry.record_invocation(
+                command=args.command,
+                argv=argv_list,
+                exit_code=exit_code,
+                wall_time_s=time.perf_counter() - started,
+                runs_dir=args.runs_dir,
+                plans=_plans_since(mark).get("plans"),
+            )
+        else:
+            run_registry.take_staged()
 
 
 if __name__ == "__main__":

@@ -61,6 +61,7 @@ from repro import obs
 from repro.baselines.scalesim import CMOSNPUConfig, simulate_cmos
 from repro.core.chaos import ChaosInjector
 from repro.core.resilience import RetryPolicy, SweepCheckpoint
+from repro.obs.progress import ProgressReporter
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import CacheError, ConfigError, ReproError, WorkerError
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
@@ -484,7 +485,8 @@ class JobRunner:
                  retry: Optional[RetryPolicy] = None,
                  timeout_s: Optional[float] = None,
                  checkpoint: Optional[SweepCheckpoint] = None,
-                 chaos: Optional[ChaosInjector] = None) -> None:
+                 chaos: Optional[ChaosInjector] = None,
+                 progress: Optional[ProgressReporter] = None) -> None:
         if jobs < 1:
             raise ConfigError("jobs must be >= 1", code="config.invalid_jobs",
                               jobs=jobs)
@@ -497,33 +499,54 @@ class JobRunner:
         self.timeout_s = timeout_s
         self.checkpoint = checkpoint
         self.chaos = chaos
+        self.progress = progress
         self.stats = RunnerStats()
         self._estimates: Dict[str, NPUEstimate] = {}
+
+    def _emit(self, kind: str, key: Optional[str] = None, attempt: int = 0) -> None:
+        """Forward one lifecycle event to the progress reporter, if any.
+
+        Results never depend on this: the reporter writes only to its
+        own stream (stderr) and to the obs registries, so a sweep is
+        bitwise-identical with progress on or off.
+        """
+        if self.progress is not None:
+            self.progress.emit(kind, key=key, attempt=attempt)
 
     # -- simulations --------------------------------------------------
     def run(self, tasks: Sequence[SimTask]) -> List[SimulationResult]:
         """Run every task (cache-first), preserving task order."""
         started = time.perf_counter()
+        if self.progress is not None:
+            self.progress.begin(len(tasks))
         keys = [task.key() for task in tasks]
         payloads: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
         pending: List[int] = []
         resumed = 0
-        for index, key in enumerate(keys):
-            payload = self._cached_payload(key)
-            if payload is None:
-                pending.append(index)
-                continue
-            payloads[index] = payload
-            if self.checkpoint is not None and key in self.checkpoint:
-                resumed += 1
-        hits = len(tasks) - len(pending)
+        try:
+            for index, key in enumerate(keys):
+                payload = self._cached_payload(key)
+                if payload is None:
+                    pending.append(index)
+                    self._emit("queued", key)
+                    continue
+                payloads[index] = payload
+                self._emit("cached", key)
+                if self.checkpoint is not None and key in self.checkpoint:
+                    resumed += 1
+            hits = len(tasks) - len(pending)
 
-        task_seconds = 0.0
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                task_seconds = self._run_parallel(tasks, keys, payloads, pending)
-            else:
-                task_seconds = self._run_serial(tasks, keys, payloads, pending)
+            task_seconds = 0.0
+            if pending:
+                if self.jobs > 1 and len(pending) > 1:
+                    task_seconds = self._run_parallel(tasks, keys, payloads, pending)
+                else:
+                    task_seconds = self._run_serial(tasks, keys, payloads, pending)
+        finally:
+            # Close the live line even when the sweep raises, so the
+            # error message starts on a fresh line.
+            if self.progress is not None:
+                self.progress.done()
 
         elapsed = time.perf_counter() - started
         self._account(len(tasks), hits, len(pending), task_seconds, elapsed, resumed)
@@ -565,9 +588,11 @@ class JobRunner:
                     pending: Sequence[int]) -> float:
         total = 0.0
         for index in pending:
+            self._emit("started", keys[index])
             payload, seconds = self._execute_with_retry(tasks[index], keys[index])
             total += seconds
             self._finish_task(index, keys[index], tasks[index], payload, payloads)
+            self._emit("finished", keys[index])
         return total
 
     def _execute_with_retry(self, task: SimTask, key: str,
@@ -608,11 +633,13 @@ class JobRunner:
                     # Degraded: finish the sweep in-process, deterministically.
                     while queue:
                         index, failures = queue.popleft()
+                        self._emit("started", keys[index], attempt=failures)
                         payload, seconds = self._execute_with_retry(
                             tasks[index], keys[index], failures=failures)
                         total_seconds += seconds
                         self._finish_task(index, keys[index], tasks[index],
                                           payload, payloads)
+                        self._emit("finished", keys[index])
                         remaining -= 1
                     break
 
@@ -622,6 +649,7 @@ class JobRunner:
                     deadline = (time.monotonic() + self.timeout_s
                                 if self.timeout_s is not None else None)
                     inflight[future] = (index, failures, deadline)
+                    self._emit("started", keys[index], attempt=failures)
 
                 done, _ = wait(set(inflight), timeout=self._wait_timeout(inflight),
                                return_when=FIRST_COMPLETED)
@@ -658,6 +686,7 @@ class JobRunner:
                         total_seconds += seconds
                         self._finish_task(index, keys[index], tasks[index],
                                           payload, payloads)
+                        self._emit("finished", keys[index])
                         remaining -= 1
 
                 if not broken and self.timeout_s is not None:
@@ -672,6 +701,7 @@ class JobRunner:
                         failures += 1
                         self.stats.timeouts += 1
                         obs.counter("jobs.timeouts").inc()
+                        self._emit("timeout", keys[index], attempt=failures)
                         if failures > self.retry.max_retries:
                             fatal = WorkerError(
                                 f"task {keys[index][:12]}… exceeded the "
@@ -695,10 +725,12 @@ class JobRunner:
                     pool_deaths += 1
                     self.stats.pool_restarts += 1
                     obs.counter("jobs.pool_restarts").inc()
+                    self._emit("pool_restart")
                     if pool_deaths >= 2:
                         # The pool is not trustworthy; finish serially.
                         self.stats.degraded += 1
                         obs.counter("jobs.degraded").inc()
+                        self._emit("degraded")
                     else:
                         pool = ProcessPoolExecutor(
                             max_workers=min(workers, max(1, remaining)))
@@ -729,6 +761,7 @@ class JobRunner:
     def _note_retry(self, key: str, error: Exception) -> None:
         self.stats.retries += 1
         obs.counter("jobs.retries").inc()
+        self._emit("retried", key)
 
     # -- estimates ----------------------------------------------------
     def estimate(self, config: NPUConfig, library: Optional[CellLibrary] = None) -> NPUEstimate:
@@ -800,7 +833,8 @@ def session(jobs: int = 1, cache_dir: Optional[Union[str, Path]] = None,
             timeout_s: Optional[float] = None,
             checkpoint: Optional[SweepCheckpoint] = None,
             checkpoint_path: Optional[Union[str, Path]] = None,
-            chaos: Optional[ChaosInjector] = None) -> Iterator[JobRunner]:
+            chaos: Optional[ChaosInjector] = None,
+            progress: Optional[ProgressReporter] = None) -> Iterator[JobRunner]:
     """Build a runner from knobs and install it (the CLI's entry point).
 
     A checkpoint journal given here is cleared when the block exits
@@ -812,7 +846,7 @@ def session(jobs: int = 1, cache_dir: Optional[Union[str, Path]] = None,
     if checkpoint is None and checkpoint_path is not None:
         checkpoint = SweepCheckpoint(checkpoint_path)
     runner = JobRunner(jobs=jobs, cache=cache, retry=retry, timeout_s=timeout_s,
-                       checkpoint=checkpoint, chaos=chaos)
+                       checkpoint=checkpoint, chaos=chaos, progress=progress)
     with use_runner(runner):
         yield runner
     if checkpoint is not None:

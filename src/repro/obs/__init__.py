@@ -19,6 +19,15 @@ Everything is **off by default**: the instrumented hot paths in
 ``core.search`` reduce to a single flag check until :func:`enable` is
 called (the CLI does this for ``supernpu profile`` and whenever
 ``--trace-out`` / ``--metrics-out`` is passed).
+
+PR 6 adds the cross-run trajectory on top of the in-run runtime:
+
+* **progress** — live task-lifecycle streaming for parallel sweeps
+  (:mod:`repro.obs.progress`);
+* **registry** — a persistent per-invocation run registry under
+  ``~/.supernpu/runs/`` (:mod:`repro.obs.registry`);
+* **bench** — the BENCH_<sha>.json recorder and regression comparator
+  over the ``benchmarks/`` suite (:mod:`repro.obs.bench`).
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -35,9 +44,12 @@ from repro.obs.runtime import (
     histogram,
     metrics,
     reset,
+    trace_instant,
     trace_span,
     tracer,
 )
+from repro.obs.progress import ProgressEvent, ProgressReporter, auto_reporter
+from repro.obs.registry import RunEntry, RunRegistry, record_invocation
 
 __all__ = [
     "Counter",
@@ -46,11 +58,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProgressEvent",
+    "ProgressReporter",
+    "RunEntry",
+    "RunRegistry",
     "Span",
     "TimelineEvent",
     "Tracer",
     "RunManifest",
+    "auto_reporter",
     "config_content_hash",
+    "record_invocation",
     "metrics_document",
     "write_metrics",
     "write_timeline",
@@ -63,6 +81,7 @@ __all__ = [
     "histogram",
     "metrics",
     "reset",
+    "trace_instant",
     "trace_span",
     "tracer",
 ]

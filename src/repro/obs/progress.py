@@ -1,0 +1,240 @@
+"""Live progress streaming for parallel sweeps.
+
+A :class:`ProgressReporter` receives structured task-lifecycle events
+from the job runner (:class:`repro.core.jobs.JobRunner`) — queued,
+cached, started, finished, retried, timeout, pool_restart, degraded —
+and turns the formerly silent fan-out into three synchronized views:
+
+* a **live stderr line** (carriage-return rewritten on a terminal, plain
+  throttled lines otherwise) with completion counts and an ETA derived
+  from the completed-task rate;
+* **span events**: every event becomes a zero-duration
+  ``progress/<kind>`` instant in the global tracer (when tracing is on),
+  so a sweep's trace shows *when* each task state change happened;
+* **metrics**: ``progress.<kind>`` counters in the metrics registry.
+
+The reporter only ever writes to its own stream (stderr by default), so
+sweep *results* are bitwise-identical with or without progress enabled —
+proven under chaos injection in ``tests/test_obs_progress.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, TextIO
+
+from repro.obs import runtime as _obs
+
+#: Every event kind a runner can emit, in rough lifecycle order.
+EVENT_KINDS = (
+    "queued",        # task entered the sweep (cache miss, will execute)
+    "cached",        # task served from the result cache
+    "started",       # task submitted to a worker / started in-process
+    "finished",      # task completed and its payload was recorded
+    "retried",       # transient failure; task re-queued under the retry budget
+    "timeout",       # task exceeded the per-task wall-clock limit
+    "pool_restart",  # the process pool died and was abandoned/rebuilt
+    "degraded",      # the runner fell back to serial execution
+    "done",          # the sweep finished
+)
+
+#: Events that always render immediately, regardless of throttling.
+_URGENT = frozenset(("retried", "timeout", "pool_restart", "degraded", "done"))
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured task-lifecycle event."""
+
+    kind: str
+    key: Optional[str] = None     #: task content key (sweep-level events: None)
+    attempt: int = 0              #: failures so far for this task
+    completed: int = 0            #: tasks done (cached + finished) at emit time
+    total: int = 0                #: tasks in the sweep
+    elapsed_s: float = 0.0        #: seconds since the sweep began
+    eta_s: Optional[float] = None  #: estimated seconds to completion
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "attempt": self.attempt,
+            "completed": self.completed,
+            "total": self.total,
+            "elapsed_s": self.elapsed_s,
+            "eta_s": self.eta_s,
+        }
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+@dataclass
+class ProgressReporter:
+    """Collects runner events, renders a live line, records obs events.
+
+    ``stream=None`` keeps the reporter silent (events are still recorded
+    in :attr:`events` and exported through obs), which is what the
+    determinism tests use.  Rendering is suppressed for sweeps smaller
+    than ``min_tasks`` so a single ``simulate`` stays quiet.
+    """
+
+    stream: Optional[TextIO] = None
+    min_tasks: int = 2
+    interval_s: float = 0.2
+    events: List[ProgressEvent] = field(default_factory=list)
+
+    # per-sweep state
+    total: int = 0
+    completed: int = 0
+    cached: int = 0
+    finished: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    degraded: bool = False
+
+    _started_at: float = 0.0
+    _last_render: float = 0.0
+    _line_width: int = 0
+    _line_open: bool = False
+
+    def begin(self, total: int) -> None:
+        """Start a new sweep of ``total`` tasks (resets per-sweep state)."""
+        self.total = total
+        self.completed = self.cached = self.finished = 0
+        self.retried = self.timeouts = self.pool_restarts = 0
+        self.degraded = False
+        self._started_at = time.perf_counter()
+        self._last_render = 0.0
+        self._line_width = 0
+        self._line_open = False
+
+    # -- event intake ---------------------------------------------------
+    def emit(self, kind: str, key: Optional[str] = None, attempt: int = 0) -> None:
+        """Record one event and (maybe) refresh the rendered line."""
+        if kind == "cached":
+            self.cached += 1
+            self.completed += 1
+        elif kind == "finished":
+            self.finished += 1
+            self.completed += 1
+        elif kind == "retried":
+            self.retried += 1
+        elif kind == "timeout":
+            self.timeouts += 1
+        elif kind == "pool_restart":
+            self.pool_restarts += 1
+        elif kind == "degraded":
+            self.degraded = True
+        elapsed = time.perf_counter() - self._started_at
+        event = ProgressEvent(
+            kind=kind, key=key, attempt=attempt,
+            completed=self.completed, total=self.total,
+            elapsed_s=elapsed, eta_s=self.eta_s(elapsed),
+        )
+        self.events.append(event)
+        _obs.counter(f"progress.{kind}").inc()
+        _obs.trace_instant(
+            f"progress/{kind}",
+            key=None if key is None else key[:12],
+            completed=self.completed, total=self.total,
+        )
+        self._render(event)
+
+    def done(self) -> None:
+        """Close the sweep: emit the ``done`` event and finish the line."""
+        self.emit("done")
+        if self._line_open and self.stream is not None:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    # -- ETA ------------------------------------------------------------
+    def eta_s(self, elapsed_s: Optional[float] = None) -> Optional[float]:
+        """Seconds to completion from the *executed*-task rate.
+
+        Cache hits land instantly at sweep start, so the rate counts
+        only tasks that actually ran; before the first one finishes
+        there is no rate and the ETA is unknown (None).
+        """
+        if self.finished <= 0 or self.total <= 0:
+            return None
+        if elapsed_s is None:
+            elapsed_s = time.perf_counter() - self._started_at
+        if elapsed_s <= 0:
+            return None
+        remaining = self.total - self.completed
+        if remaining <= 0:
+            return 0.0
+        return remaining * (elapsed_s / self.finished)
+
+    # -- rendering ------------------------------------------------------
+    def status_line(self, event: Optional[ProgressEvent] = None) -> str:
+        """The current one-line progress summary."""
+        percent = 100.0 * self.completed / self.total if self.total else 100.0
+        parts = [f"sweep {self.completed}/{self.total} ({percent:.0f}%)"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
+        if self.degraded:
+            parts.append("degraded to serial")
+        if self.completed < self.total:
+            parts.append(f"ETA {_format_eta(self.eta_s())}")
+        elif event is not None and event.kind == "done":
+            parts.append(f"{event.elapsed_s:.1f}s")
+        return " | ".join(parts)
+
+    def _render(self, event: ProgressEvent) -> None:
+        if self.stream is None or self.total < self.min_tasks:
+            return
+        now = time.perf_counter()
+        if event.kind not in _URGENT and (now - self._last_render) < self.interval_s:
+            return
+        self._last_render = now
+        line = self.status_line(event)
+        try:
+            interactive = self.stream.isatty()
+        except (AttributeError, ValueError):
+            interactive = False
+        if interactive:
+            padded = line.ljust(self._line_width)
+            self._line_width = max(self._line_width, len(line))
+            self.stream.write("\r" + padded)
+            self._line_open = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+def auto_reporter(enabled: Optional[bool] = None,
+                  stream: Optional[TextIO] = None) -> Optional[ProgressReporter]:
+    """The CLI's reporter policy: explicit flag wins, else tty auto-detect.
+
+    ``enabled=None`` enables progress only when the stream (stderr by
+    default) is a terminal; ``True``/``False`` force it on/off.  Returns
+    None when progress is off, which the runner treats as no-op.
+    """
+    stream = stream if stream is not None else sys.stderr
+    if enabled is None:
+        try:
+            enabled = stream.isatty()
+        except (AttributeError, ValueError):
+            enabled = False
+    if not enabled:
+        return None
+    return ProgressReporter(stream=stream)

@@ -71,6 +71,12 @@ def trace_span(name: str, **attrs: Any):
     return _tracer.span(name, **attrs)
 
 
+def trace_instant(name: str, **attrs: Any) -> None:
+    """Record a zero-duration span event; no-op when tracing is off."""
+    if _tracer.enabled:
+        _tracer.instant(name, **attrs)
+
+
 def counter(name: str):
     return _registry.counter(name)
 

@@ -95,6 +95,26 @@ class Tracer:
             return _NOOP_SPAN
         return _ActiveSpan(self, Span(name, attrs))
 
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration event at the current stack position.
+
+        Instants mark moments (a task finishing, a pool restarting)
+        rather than regions; they export as zero-width ``ph: "X"``
+        events nested under whatever span is currently open.
+        """
+        if not self.enabled:
+            return
+        span = Span(name, attrs)
+        now = time.perf_counter()
+        span.start_s = now
+        span.end_s = now
+        if self._epoch is None:
+            self._epoch = now
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
     def _push(self, span: Span) -> None:
         span.start_s = time.perf_counter()
         if self._epoch is None:

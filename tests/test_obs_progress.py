@@ -1,0 +1,244 @@
+"""Progress-streaming tests: reporter mechanics, runner integration,
+determinism under chaos, and the CLI stderr contract."""
+
+import io
+
+import pytest
+
+from repro import api, obs
+from repro.cli import main
+from repro.core.chaos import ANY_TASK, ChaosInjector, FaultSpec
+from repro.core.jobs import JobRunner, SimTask, session
+from repro.core.resilience import RetryPolicy
+from repro.obs.progress import (
+    EVENT_KINDS,
+    ProgressEvent,
+    ProgressReporter,
+    auto_reporter,
+)
+
+FAST_RETRY = RetryPolicy(max_retries=3, base_delay_s=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    design = api.design("supernpu")
+    network = api.workload("mobilenet")
+    return [SimTask(design, network, batch=b) for b in (1, 2, 4, 8)]
+
+
+@pytest.fixture(scope="module")
+def clean(tasks):
+    return JobRunner(jobs=1).run(tasks)
+
+
+# -- reporter mechanics ----------------------------------------------------
+
+def test_event_counts_and_completed():
+    reporter = ProgressReporter()
+    reporter.begin(4)
+    reporter.emit("cached", "k1")
+    reporter.emit("queued", "k2")
+    reporter.emit("started", "k2")
+    reporter.emit("retried", "k2")
+    reporter.emit("finished", "k2")
+    reporter.done()
+    assert reporter.total == 4
+    assert reporter.cached == 1
+    assert reporter.finished == 1
+    assert reporter.completed == 2
+    assert reporter.retried == 1
+    assert [e.kind for e in reporter.events] == [
+        "cached", "queued", "started", "retried", "finished", "done"]
+    assert all(e.kind in EVENT_KINDS for e in reporter.events)
+
+
+def test_begin_resets_per_sweep_state():
+    reporter = ProgressReporter()
+    reporter.begin(2)
+    reporter.emit("cached", "a")
+    reporter.emit("timeout", "b")
+    reporter.begin(3)
+    assert reporter.total == 3
+    assert reporter.completed == 0 and reporter.cached == 0
+    assert reporter.timeouts == 0
+
+
+def test_eta_uses_executed_rate_not_cache_hits():
+    reporter = ProgressReporter()
+    reporter.begin(10)
+    assert reporter.eta_s(elapsed_s=1.0) is None  # no finished task yet
+    for _ in range(4):
+        reporter.emit("cached")
+    assert reporter.eta_s(elapsed_s=1.0) is None  # cache hits carry no rate
+    reporter.finished = 2
+    reporter.completed = 6
+    # 4 remaining at 1.0s / 2 executed = 2.0s
+    assert reporter.eta_s(elapsed_s=1.0) == pytest.approx(2.0)
+    reporter.completed = 10
+    assert reporter.eta_s(elapsed_s=1.0) == 0.0
+
+
+def test_event_dict_round_trip():
+    event = ProgressEvent(kind="finished", key="abc", attempt=1,
+                          completed=3, total=5, elapsed_s=1.5, eta_s=0.9)
+    data = event.to_dict()
+    assert data["kind"] == "finished" and data["completed"] == 3
+    assert data["eta_s"] == 0.9
+
+
+def test_status_line_mentions_counts():
+    reporter = ProgressReporter()
+    reporter.begin(10)
+    reporter.completed = 3
+    reporter.cached = 2
+    reporter.retried = 1
+    line = reporter.status_line()
+    assert "sweep 3/10 (30%)" in line
+    assert "2 cached" in line and "1 retried" in line and "ETA" in line
+
+
+def test_renders_plain_lines_on_non_tty():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, interval_s=0.0)
+    reporter.begin(3)
+    for key in ("a", "b", "c"):
+        reporter.emit("finished", key)
+    reporter.done()
+    lines = stream.getvalue().splitlines()
+    assert lines, "non-tty rendering must emit plain lines"
+    assert "\r" not in stream.getvalue()
+    assert any("sweep 3/3 (100%)" in line for line in lines)
+
+
+def test_small_sweeps_stay_silent():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, min_tasks=2, interval_s=0.0)
+    reporter.begin(1)
+    reporter.emit("finished", "only")
+    reporter.done()
+    assert stream.getvalue() == ""
+
+
+def test_auto_reporter_policy():
+    assert auto_reporter(False) is None
+    forced = auto_reporter(True)
+    assert isinstance(forced, ProgressReporter)
+    assert auto_reporter(None, stream=io.StringIO()) is None  # not a tty
+
+
+def test_events_surface_in_obs(obs_enabled):
+    reporter = ProgressReporter()
+    reporter.begin(2)
+    reporter.emit("finished", "ab" * 32)
+    reporter.emit("finished", "cd" * 32)
+    reporter.done()
+    counters = obs.metrics().snapshot()["counters"]
+    assert counters["progress.finished"] == 2
+    assert counters["progress.done"] == 1
+    instants = [span.name for span in obs.tracer().roots]
+    assert instants.count("progress/finished") == 2
+
+
+# -- runner integration ----------------------------------------------------
+
+def test_serial_runner_emits_lifecycle(tasks, clean):
+    reporter = ProgressReporter()
+    runner = JobRunner(jobs=1, progress=reporter)
+    assert runner.run(tasks) == clean
+    kinds = [e.kind for e in reporter.events]
+    assert kinds.count("queued") == len(tasks)
+    assert kinds.count("started") == len(tasks)
+    assert kinds.count("finished") == len(tasks)
+    assert kinds[-1] == "done"
+    assert reporter.completed == reporter.total == len(tasks)
+    assert reporter.events[-1].eta_s == 0.0
+
+
+def test_parallel_runner_emits_lifecycle(tasks, clean):
+    reporter = ProgressReporter()
+    runner = JobRunner(jobs=2, progress=reporter)
+    assert runner.run(tasks) == clean
+    kinds = [e.kind for e in reporter.events]
+    assert kinds.count("started") == len(tasks)
+    assert kinds.count("finished") == len(tasks)
+    assert reporter.completed == len(tasks)
+
+
+def test_cache_hits_reported_as_cached(tmp_path, tasks, clean):
+    with session(cache_dir=tmp_path / "cache") as runner:
+        assert runner.run(tasks) == clean
+    reporter = ProgressReporter()
+    with session(cache_dir=tmp_path / "cache", progress=reporter) as runner:
+        assert runner.run(tasks) == clean
+    kinds = [e.kind for e in reporter.events]
+    assert kinds.count("cached") == len(tasks)
+    assert kinds.count("started") == 0
+    assert reporter.cached == len(tasks)
+
+
+def test_progress_never_changes_results_serial_chaos(tmp_path, tasks, clean):
+    """Under injected transient failures, progress-on == progress-off."""
+    chaos = ChaosInjector(tmp_path / "chaos",
+                          {tasks[0].key(): FaultSpec("exception", times=2)})
+    reporter = ProgressReporter(stream=io.StringIO(), interval_s=0.0)
+    runner = JobRunner(jobs=1, chaos=chaos, retry=FAST_RETRY, progress=reporter)
+    assert runner.run(tasks) == clean
+    kinds = [e.kind for e in reporter.events]
+    assert kinds.count("retried") == runner.stats.retries == 2
+    assert kinds.count("finished") == len(tasks)
+
+
+def test_progress_never_changes_results_parallel_chaos(tmp_path, tasks, clean):
+    """A SIGKILLed worker surfaces as pool_restart; results stay identical."""
+    chaos = ChaosInjector(tmp_path / "chaos",
+                          {tasks[1].key(): FaultSpec("sigkill", times=1)})
+    reporter = ProgressReporter(stream=io.StringIO(), interval_s=0.0)
+    runner = JobRunner(jobs=2, chaos=chaos, retry=FAST_RETRY, progress=reporter)
+    assert runner.run(tasks) == clean
+    kinds = [e.kind for e in reporter.events]
+    assert kinds.count("pool_restart") == runner.stats.pool_restarts >= 1
+    assert kinds.count("finished") == len(tasks)
+    assert reporter.completed == len(tasks)
+
+
+def test_degraded_sweep_still_completes_events(tmp_path, tasks, clean):
+    chaos = ChaosInjector(tmp_path / "chaos",
+                          {ANY_TASK: FaultSpec("sigkill", times=3)})
+    reporter = ProgressReporter(stream=io.StringIO(), interval_s=0.0)
+    runner = JobRunner(jobs=2, chaos=chaos, retry=FAST_RETRY, progress=reporter)
+    assert runner.run(tasks) == clean
+    kinds = [e.kind for e in reporter.events]
+    assert kinds.count("degraded") == 1
+    assert kinds.count("finished") == len(tasks)
+    assert reporter.degraded
+    assert "degraded to serial" in reporter.status_line()
+
+
+# -- CLI contract ----------------------------------------------------------
+
+def test_cli_progress_streams_to_stderr_only(capsys):
+    assert main(["evaluate", "--progress"]) == 0
+    with_progress = capsys.readouterr()
+    assert "sweep" in with_progress.err and "ETA" in with_progress.err
+    assert "sweep" not in with_progress.out
+
+    assert main(["evaluate", "--no-progress"]) == 0
+    without = capsys.readouterr()
+    assert "sweep" not in without.err
+    # The load-bearing invariant: stdout is bitwise-identical either way.
+    assert with_progress.out == without.out
+
+
+def test_cli_sweep_summary_line_on_stderr(capsys):
+    assert main(["evaluate", "--no-progress"]) == 0
+    captured = capsys.readouterr()
+    assert "summary:" in captured.err
+    assert "cache hit-rate" in captured.err
+    assert "summary:" not in captured.out
+
+
+def test_cli_single_simulation_has_no_summary(capsys):
+    assert main(["simulate", "supernpu", "alexnet", "--batch", "1",
+                 "--no-progress"]) == 0
+    assert "summary:" not in capsys.readouterr().err
