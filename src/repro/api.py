@@ -57,6 +57,7 @@ from repro.core.plan import (
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import ConfigError, InvalidSpecError, InvalidWorkloadSpecError
 from repro.estimator.arch_level import NPUEstimate
+from repro.obs.hotspot import HotspotProfile, HotspotProfiler
 from repro.obs.progress import ProgressReporter
 from repro.obs.registry import RunRegistry
 from repro.obs.timeline import CycleTimeline
@@ -88,6 +89,8 @@ __all__ = [
     "run_plan",
     "ExperimentPlan",
     "ResultSet",
+    "HotspotProfile",
+    "HotspotProfiler",
     "JobRunner",
     "ProgressReporter",
     "ResultCache",

@@ -20,7 +20,15 @@ Commands mirror the paper's experiments:
   with thresholded regression verdicts (nonzero exit on regression)
 * ``runs list|show|diff`` — query the persistent run registry; every
   invocation is recorded there (``~/.supernpu/runs/`` by default;
-  ``--runs-dir DIR`` overrides, ``--no-registry`` opts out)
+  ``--runs-dir DIR`` overrides, ``--no-registry`` opts out);
+  ``list --command SUBSTR`` filters by command name / argv
+* ``hotspot <command...>`` — run any other supernpu command under the
+  host-time profiler (wall-clock sampling, or deterministic tracing for
+  sub-millisecond commands); ``simulate``, ``evaluate``, ``plan run``
+  and ``bench run`` also take ``--hotspot`` / ``--hotspot-out FILE`` /
+  ``--hotspot-mode`` / ``--sample-hz`` directly.  All profiler output
+  goes to stderr, so the profiled command's stdout stays
+  bitwise-identical to an unprofiled run
 
 ``simulate``, ``evaluate``, ``sweep``, ``compare``, ``reproduce``,
 ``bottleneck`` and ``profile`` accept ``--trace-out FILE`` (Chrome
@@ -73,19 +81,50 @@ class _ObsSession:
         self.trace_out: Optional[str] = getattr(args, "trace_out", None)
         self.metrics_out: Optional[str] = getattr(args, "metrics_out", None)
         self.active = force or bool(self.trace_out or self.metrics_out)
+        self.hotspot_out: Optional[str] = getattr(args, "hotspot_out", None)
+        self.hotspot = bool(getattr(args, "hotspot", False) or self.hotspot_out)
+        self._profiler = None
         self._start = time.perf_counter()
         if self.active:
             from repro import obs
 
             obs.reset()
             obs.enable()
+        if self.hotspot:
+            from repro.obs.hotspot import HotspotProfiler
+
+            self._profiler = HotspotProfiler(
+                mode=getattr(args, "hotspot_mode", None) or "sampling",
+                sample_hz=getattr(args, "sample_hz", None) or 97.0,
+            )
+            self._profiler.start()
+
+    def _finish_hotspot(self, phase_fractions=None):
+        """Stop the profiler and report it — stderr only, never stdout.
+
+        The command's stdout must stay bitwise-identical with and without
+        ``--hotspot``; everything the profiler says rides on stderr.
+        Returns the compact summary for the run registry, or None.
+        """
+        if self._profiler is None:
+            return None
+        profile = self._profiler.stop()
+        self._profiler = None
+        print(profile.report(phase_fractions=phase_fractions), file=sys.stderr)
+        if self.hotspot_out:
+            with open(self.hotspot_out, "w", encoding="utf-8") as handle:
+                handle.write(profile.collapsed())
+            print(f"collapsed stacks written to {self.hotspot_out}",
+                  file=sys.stderr)
+        return profile.summary()
 
     def finish(self, config=None, network=None, batch=None, technology=None,
-               keep_enabled: bool = False, **extra):
+               keep_enabled: bool = False, hotspot_phases=None, **extra):
         """Write the requested outputs; returns the manifest (or None)."""
         from repro import obs
         from repro.obs import registry as run_registry
 
+        hotspot_summary = self._finish_hotspot(hotspot_phases)
         manifest = obs.RunManifest.capture(
             self.command,
             config=config,
@@ -99,7 +138,10 @@ class _ObsSession:
             # Manifest capture is pure (no instrumentation needed), so the
             # run registry gets design/workload provenance even when the
             # obs runtime stayed off; counters exist only when it was on.
-            run_registry.stage(manifest=manifest.to_dict())
+            staged = {"manifest": manifest.to_dict()}
+            if hotspot_summary is not None:
+                staged["hotspot"] = hotspot_summary
+            run_registry.stage(**staged)
             return None
         if self.metrics_out:
             obs.write_metrics(self.metrics_out, manifest=manifest)
@@ -110,8 +152,11 @@ class _ObsSession:
         # Stage manifest + metrics for the run registry before the global
         # state is reset; main() finalizes the entry with exit code and
         # wall time once the command returns.
-        run_registry.stage(manifest=manifest.to_dict(),
-                           metrics=obs.metrics().snapshot())
+        staged = {"manifest": manifest.to_dict(),
+                  "metrics": obs.metrics().snapshot()}
+        if hotspot_summary is not None:
+            staged["hotspot"] = hotspot_summary
+        run_registry.stage(**staged)
         if not keep_enabled:
             obs.disable()
             obs.reset()
@@ -246,6 +291,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         run = api.simulate(config, network, batch=args.batch, technology=library)
         power = power_report(run, estimate)
         breakdown = run.cycle_breakdown()
+        hotspot_phases = None
+        if session.hotspot:
+            # Join host self-time with the run's simulated-cycle phase
+            # attribution so the report answers "which loop models the
+            # phase that dominates simulated time".  Raw per-phase
+            # fractions; the report groups them into compute /
+            # preparation / dram itself.
+            from repro.simulator.attribution import attribute
+
+            hotspot_phases = dict(attribute(run).summary_fractions)
         if args.json:
             from repro.core.report import simulation_record
 
@@ -253,7 +308,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                             config=config, network=network, batch=run.batch,
                             technology=args.technology)
             session.finish(config=config, network=network, batch=run.batch,
-                           technology=args.technology)
+                           technology=args.technology,
+                           hotspot_phases=hotspot_phases)
             return 0
         print(f"{config.name} running {network.name} (batch {run.batch})")
         print(f"  cycles      : {run.total_cycles:,}")
@@ -269,7 +325,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  chip power  : {power.total_w:.2f} W "
               f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
         session.finish(config=config, network=network, batch=run.batch,
-                       technology=args.technology)
+                       technology=args.technology,
+                       hotspot_phases=hotspot_phases)
     return 0
 
 
@@ -959,8 +1016,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import bench
 
     if args.action == "run":
+        hotspot_mode = None
+        if args.hotspot or args.hotspot_out:
+            hotspot_mode = args.hotspot_mode or "sampling"
         document = bench.run_benchmarks(
-            args.subset, min_rounds=args.min_rounds, max_time_s=args.max_time)
+            args.subset, min_rounds=args.min_rounds, max_time_s=args.max_time,
+            label=args.label, hotspot_mode=hotspot_mode,
+            hotspot_hz=args.sample_hz)
         path = bench.write_document(document, path=args.out)
         if args.json:
             _print_envelope("bench", document, action="run", subset=args.subset)
@@ -973,6 +1035,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"  {name:<58s} min {stats['min_s'] * 1e3:9.3f} ms  "
                       f"mean {stats['mean_s'] * 1e3:9.3f} ms  "
                       f"({stats['rounds']} rounds)")
+        hotspot_doc = document.get("hotspot")
+        if hotspot_doc:
+            from repro.obs import registry as run_registry
+            from repro.obs.hotspot import HotspotProfile
+
+            profile = HotspotProfile.from_dict(hotspot_doc["profile"])
+            print(profile.report(), file=sys.stderr)
+            if args.hotspot_out:
+                with open(args.hotspot_out, "w", encoding="utf-8") as handle:
+                    handle.write(hotspot_doc.get("collapsed", ""))
+                print(f"collapsed stacks written to {args.hotspot_out}",
+                      file=sys.stderr)
+            run_registry.stage(hotspot=hotspot_doc.get("summary"))
         return 0
 
     # compare: candidate vs an explicit --baseline or the newest committed one
@@ -1012,7 +1087,8 @@ def cmd_runs(args: argparse.Namespace) -> int:
     registry = RunRegistry(getattr(args, "runs_dir", None))
 
     if args.action == "list":
-        entries, corrupt = registry.entries(limit=args.limit)
+        entries, corrupt = registry.entries(limit=args.limit,
+                                            command=args.command_filter)
         if args.json:
             _print_envelope("runs", {
                 "runs": [entry.to_dict() for entry in entries],
@@ -1072,6 +1148,47 @@ def cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hotspot(args: argparse.Namespace) -> int:
+    """Profile any other supernpu command's host time.
+
+    Runs the wrapped command in-process under a :class:`HotspotProfiler`
+    and prints the top-N table to stderr — the wrapped command's stdout
+    is bitwise-identical to an unprofiled run.  ``tracing`` mode is the
+    right choice for sub-millisecond commands (deterministic, counts
+    calls); ``sampling`` (default) for anything that runs long enough to
+    collect samples.
+    """
+    from repro.errors import ConfigError
+    from repro.obs import registry as run_registry
+    from repro.obs.hotspot import HotspotProfiler
+
+    inner = list(args.argv)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        raise ConfigError(
+            "'hotspot' needs a supernpu command to profile",
+            code="config.missing_command",
+            hint="e.g. supernpu hotspot --hotspot-mode tracing "
+                 "simulate supernpu mobilenet",
+        )
+    profiler = HotspotProfiler(mode=args.hotspot_mode,
+                               sample_hz=args.sample_hz)
+    profiler.start()
+    try:
+        exit_code = main(inner)
+    finally:
+        profile = profiler.stop()
+    print(profile.report(top_n=args.top), file=sys.stderr)
+    if args.hotspot_out:
+        with open(args.hotspot_out, "w", encoding="utf-8") as handle:
+            handle.write(profile.collapsed())
+        print(f"collapsed stacks written to {args.hotspot_out}",
+              file=sys.stderr)
+    run_registry.stage(hotspot=profile.summary())
+    return exit_code
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of this run "
@@ -1102,6 +1219,24 @@ def _add_jobs_flags(parser: argparse.ArgumentParser) -> None:
                              "to stderr; default: only when stderr is a tty")
     parser.add_argument("--no-progress", dest="progress", action="store_false",
                         help="never stream sweep progress")
+
+
+def _add_hotspot_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hotspot", action="store_true",
+                        help="profile this command's own host time; the "
+                             "top-N table goes to stderr (stdout is "
+                             "bitwise-identical to an unprofiled run)")
+    parser.add_argument("--hotspot-out", metavar="FILE", default=None,
+                        help="write collapsed stacks (flamegraph.pl / "
+                             "speedscope format); implies --hotspot")
+    parser.add_argument("--hotspot-mode", choices=["sampling", "tracing"],
+                        default="sampling",
+                        help="sampling (default; wall-clock samples) or "
+                             "tracing (deterministic sys.setprofile hook; "
+                             "use for sub-millisecond commands)")
+    parser.add_argument("--sample-hz", type=float, default=97.0, metavar="HZ",
+                        help="sampling rate for --hotspot-mode sampling "
+                             "(default 97, prime to dodge periodic aliasing)")
 
 
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
@@ -1140,6 +1275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
     _add_obs_flags(p_sim)
     _add_jobs_flags(p_sim)
+    _add_hotspot_flags(p_sim)
     _add_json_flag(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -1189,6 +1325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="full Fig. 23 speedup comparison")
     _add_obs_flags(p_eval)
     _add_jobs_flags(p_eval)
+    _add_hotspot_flags(p_eval)
     _add_json_flag(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
@@ -1260,6 +1397,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="a registered plan name (see 'plan list')")
     _add_obs_flags(p_plan)
     _add_jobs_flags(p_plan)
+    _add_hotspot_flags(p_plan)
     _add_json_flag(p_plan)
     p_plan.set_defaults(func=cmd_plan)
 
@@ -1295,6 +1433,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=1.5, metavar="X",
                          help="regression threshold on the min-wall-time "
                               "ratio (default 1.5)")
+    p_bench.add_argument("--label", default=None, metavar="NAME",
+                         help="for 'run': stamp the recording with a stable "
+                              "label and write it as BENCH_<label>.json — "
+                              "use one label per PR to grow a committed "
+                              "performance trajectory")
+    _add_hotspot_flags(p_bench)
     _add_json_flag(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
@@ -1309,8 +1453,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "prefixes are accepted")
     p_runs.add_argument("--limit", type=int, default=20, metavar="N",
                         help="how many entries 'list' shows (default 20)")
+    p_runs.add_argument("--command", dest="command_filter", default=None,
+                        metavar="SUBSTR",
+                        help="for 'list': only entries whose command or argv "
+                             "contains SUBSTR (case-insensitive; applied "
+                             "before --limit)")
     _add_json_flag(p_runs)
     p_runs.set_defaults(func=cmd_runs)
+
+    p_hot = sub.add_parser(
+        "hotspot",
+        help="run another supernpu command under the host-time profiler "
+             "(top-N table on stderr; stdout untouched)",
+    )
+    p_hot.add_argument("--top", type=int, default=10, metavar="N",
+                       help="how many functions the report ranks (default 10)")
+    p_hot.add_argument("--hotspot-out", metavar="FILE", default=None,
+                       help="write collapsed stacks (flamegraph.pl / "
+                            "speedscope format)")
+    p_hot.add_argument("--hotspot-mode", choices=["sampling", "tracing"],
+                       default="sampling",
+                       help="sampling (default) or deterministic tracing "
+                            "(use for sub-millisecond commands)")
+    p_hot.add_argument("--sample-hz", type=float, default=97.0, metavar="HZ",
+                       help="sampling rate (default 97)")
+    p_hot.add_argument("argv", nargs=argparse.REMAINDER,
+                       help="the supernpu command line to profile, e.g. "
+                            "'simulate supernpu mobilenet'")
+    p_hot.set_defaults(func=cmd_hotspot)
 
     return parser
 

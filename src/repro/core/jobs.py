@@ -49,6 +49,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
@@ -403,9 +405,98 @@ def _execute(task: SimTask) -> Tuple[Dict[str, Any], float]:
     return result_to_dict(run), time.perf_counter() - start
 
 
+@dataclass(frozen=True)
+class WorkerObsSpec:
+    """What observability each pool worker should collect.
+
+    Built by the parent from its own live obs state (is tracing on? is a
+    hotspot profiler running?) and pickled along with every submitted
+    task.  Workers run a private obs session per task and leave a JSON
+    sidecar in ``sidecar_dir`` keyed by the task's content hash; the
+    parent merges all sidecars after the parallel phase and deletes the
+    directory.  Everything is best-effort: a worker that cannot write
+    its sidecar still returns its result normally.
+    """
+
+    sidecar_dir: str
+    metrics: bool = False
+    tracing: bool = False
+    hotspot_mode: Optional[str] = None
+    hotspot_hz: float = 97.0
+
+    @property
+    def collects_anything(self) -> bool:
+        return self.metrics or self.tracing or self.hotspot_mode is not None
+
+
+def _write_obs_sidecar(spec: WorkerObsSpec, key: str,
+                       counters: Dict[str, Any],
+                       spans: List[Dict[str, Any]],
+                       profile: Optional[Any]) -> None:
+    """Atomically write one worker's per-task obs sidecar (best-effort)."""
+    try:
+        document = {
+            "kind": "worker-obs",
+            "schema": 1,
+            "key": key,
+            "pid": os.getpid(),
+            "counters": counters,
+            "spans": spans,
+            "hotspot": None if profile is None else profile.to_dict(),
+        }
+        path = Path(spec.sidecar_dir) / f"{key}.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document), encoding="utf-8")
+        os.replace(tmp, path)
+    except Exception:
+        pass  # observability must never fail the task
+
+
+def _execute_observed(task: SimTask, chaos: Optional[ChaosInjector],
+                      spec: WorkerObsSpec) -> Tuple[Dict[str, Any], float]:
+    """Run one task under a private worker obs session + sidecar.
+
+    The session is reset before and after, so the sidecar holds exactly
+    this task's spans and counters even when the worker process is
+    reused for many tasks.  The sidecar is written only on success —
+    a retried task contributes once, under its stable content key.
+    """
+    from repro.obs.hotspot import HotspotProfiler
+    from repro.obs.tracing import serialize_spans
+
+    obs.disable()
+    obs.reset()
+    obs.enable(metrics=spec.metrics, tracing=spec.tracing)
+    profiler = None
+    if spec.hotspot_mode is not None:
+        try:
+            profiler = HotspotProfiler(mode=spec.hotspot_mode,
+                                       sample_hz=spec.hotspot_hz).start()
+        except Exception:
+            profiler = None
+    try:
+        if chaos is not None:
+            chaos.fire(task.key())
+        payload, seconds = _execute(task)
+        profile = profiler.stop() if profiler is not None else None
+        snapshot = obs.metrics().snapshot() if spec.metrics else {}
+        spans = serialize_spans(obs.tracer()) if spec.tracing else []
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        obs.disable()
+        obs.reset()
+    _write_obs_sidecar(spec, task.key(), snapshot.get("counters", {}), spans, profile)
+    return payload, seconds
+
+
 def _execute_task(task: SimTask,
-                  chaos: Optional[ChaosInjector] = None) -> Tuple[Dict[str, Any], float]:
+                  chaos: Optional[ChaosInjector] = None,
+                  obs_spec: Optional[WorkerObsSpec] = None,
+                  ) -> Tuple[Dict[str, Any], float]:
     """The unit submitted to workers: optional chaos, then the simulation."""
+    if obs_spec is not None and obs_spec.collects_anything:
+        return _execute_observed(task, chaos, obs_spec)
     if chaos is not None:
         chaos.fire(task.key())
     return _execute(task)
@@ -624,6 +715,7 @@ class JobRunner:
         workers = min(self.jobs, len(pending))
         queue: Deque[Tuple[int, int]] = deque((index, 0) for index in pending)
         remaining = len(pending)
+        obs_spec = self._worker_obs_spec()
         pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(max_workers=workers)
         pool_deaths = 0
         inflight: Dict[Future, Tuple[int, int, Optional[float]]] = {}
@@ -645,7 +737,8 @@ class JobRunner:
 
                 while queue and len(inflight) < workers:
                     index, failures = queue.popleft()
-                    future = pool.submit(_execute_task, tasks[index], self.chaos)
+                    future = pool.submit(_execute_task, tasks[index], self.chaos,
+                                         obs_spec)
                     deadline = (time.monotonic() + self.timeout_s
                                 if self.timeout_s is not None else None)
                     inflight[future] = (index, failures, deadline)
@@ -737,7 +830,74 @@ class JobRunner:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+            self._merge_worker_obs(obs_spec)
         return total_seconds
+
+    # -- worker observability ------------------------------------------
+    @staticmethod
+    def _worker_obs_spec() -> Optional["WorkerObsSpec"]:
+        """A spec mirroring the parent's live obs state, or None when off.
+
+        None (the common case) keeps the worker path allocation-free;
+        otherwise a fresh sidecar directory is created for this parallel
+        phase and torn down by :meth:`_merge_worker_obs`.
+        """
+        from repro.obs import hotspot as hotspot_mod
+
+        profiler = hotspot_mod.active_profiler()
+        want_metrics = obs.metrics().enabled
+        want_tracing = obs.tracer().enabled
+        if not (want_metrics or want_tracing or profiler is not None):
+            return None
+        sidecar_dir = tempfile.mkdtemp(prefix="supernpu-worker-obs-")
+        return WorkerObsSpec(
+            sidecar_dir=sidecar_dir,
+            metrics=want_metrics,
+            tracing=want_tracing,
+            hotspot_mode=None if profiler is None else profiler.mode,
+            hotspot_hz=profiler.sample_hz if profiler is not None else 97.0,
+        )
+
+    def _merge_worker_obs(self, spec: Optional["WorkerObsSpec"]) -> None:
+        """Fold every worker sidecar into the parent obs state.
+
+        Counters come back prefixed ``jobs.worker.`` (so parent-side and
+        worker-side accounting stay distinguishable), spans land in a
+        per-PID lane of the parent's Chrome trace, and hotspot samples
+        merge into the active profiler.  Unreadable sidecars are skipped;
+        the sidecar directory is always removed.
+        """
+        if spec is None:
+            return
+        from repro.obs import hotspot as hotspot_mod
+
+        sidecar_dir = Path(spec.sidecar_dir)
+        try:
+            merged = 0
+            pids = set()
+            for path in sorted(sidecar_dir.glob("*.json")):
+                try:
+                    document = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    continue
+                if not isinstance(document, dict) or document.get("kind") != "worker-obs":
+                    continue
+                pid = int(document.get("pid", 0))
+                pids.add(pid)
+                merged += 1
+                for name, value in (document.get("counters") or {}).items():
+                    obs.counter(f"jobs.worker.{name}").add(value)
+                spans = document.get("spans") or []
+                if spans:
+                    obs.tracer().absorb_serialized(spans, pid=pid)
+                hotspot_doc = document.get("hotspot")
+                if hotspot_doc:
+                    hotspot_mod.absorb(hotspot_doc)
+            if merged:
+                obs.counter("jobs.worker.sidecars").add(merged)
+                obs.gauge("jobs.worker.pids").set(len(pids))
+        finally:
+            shutil.rmtree(sidecar_dir, ignore_errors=True)
 
     def _wait_timeout(self, inflight: Dict[Future, Tuple[int, int, Optional[float]]]
                       ) -> Optional[float]:

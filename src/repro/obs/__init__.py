@@ -28,6 +28,14 @@ PR 6 adds the cross-run trajectory on top of the in-run runtime:
   ``~/.supernpu/runs/`` (:mod:`repro.obs.registry`);
 * **bench** — the BENCH_<sha>.json recorder and regression comparator
   over the ``benchmarks/`` suite (:mod:`repro.obs.bench`).
+
+PR 7 adds host-time hotspot profiling (:mod:`repro.obs.hotspot`): a
+stdlib-only sampling profiler (plus a deterministic tracing fallback for
+sub-millisecond runs) with collapsed-stack export and a report that
+joins per-function self-time with the simulated-cycle phase attribution.
+Worker processes spawned by :mod:`repro.core.jobs` serialize their own
+spans / counters / samples into per-task sidecars that the parent merges
+into one Chrome trace with one lane per worker PID.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -50,6 +58,7 @@ from repro.obs.runtime import (
 )
 from repro.obs.progress import ProgressEvent, ProgressReporter, auto_reporter
 from repro.obs.registry import RunEntry, RunRegistry, record_invocation
+from repro.obs.hotspot import HotspotProfile, HotspotProfiler, active_profiler
 
 __all__ = [
     "Counter",
@@ -57,6 +66,8 @@ __all__ = [
     "CycleTimeline",
     "Gauge",
     "Histogram",
+    "HotspotProfile",
+    "HotspotProfiler",
     "MetricsRegistry",
     "ProgressEvent",
     "ProgressReporter",
@@ -66,6 +77,7 @@ __all__ = [
     "TimelineEvent",
     "Tracer",
     "RunManifest",
+    "active_profiler",
     "auto_reporter",
     "config_content_hash",
     "record_invocation",

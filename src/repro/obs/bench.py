@@ -40,10 +40,21 @@ from repro.errors import ConfigError, SimulationError
 from repro.obs.manifest import RunManifest
 
 #: Bump when the BENCH document layout changes meaning.
-BENCH_SCHEMA_VERSION = 1
+#: v2 adds ``label`` (human-chosen trajectory-point name) and ``hotspot``
+#: (host-time profile summary of the whole bench session); both are
+#: additive, so v1 documents remain readable (see COMPATIBLE_SCHEMAS).
+BENCH_SCHEMA_VERSION = 2
+
+#: Older document schemas :func:`load_document` still accepts.
+COMPATIBLE_SCHEMAS = (1, 2)
 
 BENCH_KIND = "supernpu-bench"
 BENCH_PREFIX = "BENCH_"
+
+#: Environment variables the benchmarks/conftest.py hotspot fixture honors.
+HOTSPOT_OUT_ENV = "SUPERNPU_BENCH_HOTSPOT_OUT"
+HOTSPOT_MODE_ENV = "SUPERNPU_BENCH_HOTSPOT_MODE"
+HOTSPOT_HZ_ENV = "SUPERNPU_BENCH_HOTSPOT_HZ"
 
 #: Named benchmark subsets (file stems under ``benchmarks/``).
 #: ``smoke`` is the CI gate: the fastest representative slice of the
@@ -146,9 +157,11 @@ def bench_files(subset: str = "all",
 
 
 def default_bench_path(root: Optional[Union[str, Path]] = None,
-                       sha: Optional[str] = None) -> Path:
+                       sha: Optional[str] = None,
+                       label: Optional[str] = None) -> Path:
+    """Where a recording lands: ``BENCH_<label>.json`` else ``BENCH_<sha>.json``."""
     base = repo_root(root)
-    return base / f"{BENCH_PREFIX}{sha or git_sha(base)}.json"
+    return base / f"{BENCH_PREFIX}{label or sha or git_sha(base)}.json"
 
 
 # -- recording ---------------------------------------------------------------
@@ -158,6 +171,9 @@ def run_benchmarks(subset: str = "all", *,
                    min_rounds: int = 3,
                    max_time_s: float = 0.5,
                    timeout_s: float = 1800.0,
+                   label: Optional[str] = None,
+                   hotspot_mode: Optional[str] = None,
+                   hotspot_hz: float = 97.0,
                    pytest_args: Sequence[str] = ()) -> Dict[str, Any]:
     """Run the suite in a pytest subprocess; returns the BENCH document.
 
@@ -166,6 +182,12 @@ def run_benchmarks(subset: str = "all", *,
     to a temporary file (the benchmark conftest honors
     ``SUPERNPU_BENCH_METRICS_OUT``), and writes pytest-benchmark's raw
     stats JSON alongside; both are folded into the returned document.
+
+    ``label`` names the trajectory point (sets the default filename to
+    ``BENCH_<label>.json``).  ``hotspot_mode`` ("sampling" or "tracing")
+    asks the benchmark conftest to profile the whole session host-side
+    (``SUPERNPU_BENCH_HOTSPOT_*`` env vars); the resulting summary and
+    collapsed stacks fold into the document's ``hotspot`` field.
     """
     if min_rounds < 1:
         raise ConfigError("min_rounds must be >= 1",
@@ -176,8 +198,13 @@ def run_benchmarks(subset: str = "all", *,
     with tempfile.TemporaryDirectory(prefix="supernpu-bench-") as scratch:
         raw_path = Path(scratch) / "pytest-benchmark.json"
         metrics_path = Path(scratch) / "bench-metrics.json"
+        hotspot_path = Path(scratch) / "bench-hotspot.json"
         env = dict(os.environ)
         env["SUPERNPU_BENCH_METRICS_OUT"] = str(metrics_path)
+        if hotspot_mode is not None:
+            env[HOTSPOT_OUT_ENV] = str(hotspot_path)
+            env[HOTSPOT_MODE_ENV] = hotspot_mode
+            env[HOTSPOT_HZ_ENV] = str(hotspot_hz)
         src = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = src + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
@@ -216,6 +243,12 @@ def run_benchmarks(subset: str = "all", *,
             metrics_doc = json.loads(metrics_path.read_text(encoding="utf-8"))
             counters = metrics_doc.get("metrics", {}).get("counters", {})
             histograms = metrics_doc.get("metrics", {}).get("histograms", {})
+        hotspot_doc: Optional[Dict[str, Any]] = None
+        if hotspot_mode is not None and hotspot_path.is_file():
+            try:
+                hotspot_doc = json.loads(hotspot_path.read_text(encoding="utf-8"))
+            except ValueError:
+                hotspot_doc = None
     wall = time.perf_counter() - started
 
     benchmarks: Dict[str, Dict[str, Any]] = {}
@@ -250,6 +283,7 @@ def run_benchmarks(subset: str = "all", *,
         "kind": BENCH_KIND,
         "git_sha": sha,
         "subset": subset,
+        "label": label,
         "created_unix": time.time(),
         "settings": {"min_rounds": min_rounds, "max_time_s": max_time_s},
         "host": {
@@ -261,15 +295,21 @@ def run_benchmarks(subset: str = "all", *,
         "benchmarks": benchmarks,
         "counters": counters,
         "histograms": histograms,
+        "hotspot": hotspot_doc,
     }
 
 
 def write_document(document: Dict[str, Any],
                    path: Optional[Union[str, Path]] = None,
                    root: Optional[Union[str, Path]] = None) -> Path:
-    """Write one BENCH document (default: ``BENCH_<sha>.json`` at the root)."""
+    """Write one BENCH document.
+
+    Default path: ``BENCH_<label>.json`` when the document carries a
+    label, else ``BENCH_<sha>.json`` — both at the repo root.
+    """
     if path is None:
-        path = default_bench_path(root, document.get("git_sha"))
+        path = default_bench_path(root, document.get("git_sha"),
+                                  document.get("label"))
     path = Path(path).expanduser()
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
@@ -294,9 +334,10 @@ def load_document(path: Union[str, Path]) -> Dict[str, Any]:
         ) from error
     if (not isinstance(document, dict)
             or document.get("kind") != BENCH_KIND
-            or document.get("schema") != BENCH_SCHEMA_VERSION):
+            or document.get("schema") not in COMPATIBLE_SCHEMAS):
         raise ConfigError(
-            f"{path} is not a schema-{BENCH_SCHEMA_VERSION} BENCH document",
+            f"{path} is not a schema-{'/'.join(map(str, COMPATIBLE_SCHEMAS))} "
+            f"BENCH document",
             code="bench.wrong_schema", path=str(path),
         )
     return document

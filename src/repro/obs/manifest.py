@@ -11,9 +11,40 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import platform
+import socket
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
+
+
+def environment_provenance() -> Dict[str, Any]:
+    """Host/interpreter facts that make cross-machine comparisons readable.
+
+    Bench and registry diffs are meaningless without knowing whether the
+    two runs shared a python version, numpy version, and machine — this
+    captures exactly that, nothing more (no env vars, no paths).
+    """
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:
+        numpy_version = None
+    env: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        env["hostname"] = socket.gethostname()
+    except Exception:
+        env["hostname"] = None
+    return env
 
 
 def config_content_hash(config: Any) -> str:
@@ -42,6 +73,7 @@ class RunManifest:
     package_version: str = ""
     wall_time_s: Optional[float] = None
     created_unix: float = field(default_factory=time.time)
+    environment: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -78,6 +110,7 @@ class RunManifest:
             technology=technology,
             package_version=getattr(repro, "__version__", "unknown"),
             wall_time_s=wall_time_s,
+            environment=environment_provenance(),
             extra=dict(extra),
         )
 
@@ -107,6 +140,12 @@ class RunManifest:
         rows.append(("version", self.package_version))
         if self.wall_time_s is not None:
             rows.append(("wall time", f"{self.wall_time_s:.3f} s"))
+        if self.environment:
+            env = self.environment
+            summary = (f"python {env.get('python')}, numpy {env.get('numpy')}, "
+                       f"{env.get('platform')}, {env.get('cpu_count')} cpus, "
+                       f"host {env.get('hostname')}")
+            rows.append(("environment", summary))
         for key, value in self.extra.items():
             rows.append((key, str(value)))
         return "\n".join(f"  {k:12s}: {v}" for k, v in rows)

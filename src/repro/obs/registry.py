@@ -60,6 +60,7 @@ class RunEntry:
     manifest: Optional[Dict[str, Any]] = None
     metrics: Optional[Dict[str, Any]] = None
     plans: List[Dict[str, str]] = field(default_factory=list)
+    hotspot: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -73,6 +74,7 @@ class RunEntry:
             "manifest": self.manifest,
             "metrics": self.metrics,
             "plans": list(self.plans),
+            "hotspot": self.hotspot,
         }
 
     @classmethod
@@ -89,6 +91,7 @@ class RunEntry:
             manifest=data.get("manifest"),
             metrics=data.get("metrics"),
             plans=list(data.get("plans") or []),
+            hotspot=data.get("hotspot"),
         )
 
     @property
@@ -117,6 +120,12 @@ class RunEntry:
         if self.plans:
             rows.append(("plans", ", ".join(
                 f"{p['name']} ({p['hash'][:12]})" for p in self.plans)))
+        if self.hotspot:
+            top = self.hotspot.get("top") or []
+            label = (f"{top[0]['function']} ({top[0]['file']}:{top[0]['line']}, "
+                     f"{top[0]['self_s'] * 1e3:.3f} ms self)") if top else "-"
+            rows.append(("hotspot", f"{self.hotspot.get('mode')} mode, "
+                                    f"top: {label}"))
         lines = [f"  {k:12s}: {v}" for k, v in rows]
         counters = self.counters
         if counters:
@@ -156,7 +165,8 @@ class RunRegistry:
                wall_time_s: Optional[float] = None,
                manifest: Optional[Dict[str, Any]] = None,
                metrics: Optional[Dict[str, Any]] = None,
-               plans: Optional[Sequence[Dict[str, str]]] = None) -> RunEntry:
+               plans: Optional[Sequence[Dict[str, str]]] = None,
+               hotspot: Optional[Dict[str, Any]] = None) -> RunEntry:
         """Record one invocation; returns the written entry."""
         entry = RunEntry(
             run_id=_new_run_id(),
@@ -168,6 +178,7 @@ class RunRegistry:
             manifest=manifest,
             metrics=metrics,
             plans=list(plans or []),
+            hotspot=hotspot,
         )
         path = self.path_for(entry.run_id)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -189,9 +200,13 @@ class RunRegistry:
         return entry
 
     # -- reading -------------------------------------------------------
-    def entries(self, limit: Optional[int] = None) -> Tuple[List[RunEntry], int]:
+    def entries(self, limit: Optional[int] = None,
+                command: Optional[str] = None) -> Tuple[List[RunEntry], int]:
         """(newest-first entries, skipped-corrupt count).
 
+        ``command`` filters to entries whose command name or full argv
+        contains the substring (case-insensitive) — applied *before*
+        ``limit``, so "the last 5 evaluate runs" composes naturally.
         Damaged files — torn writes, truncated JSON, foreign schemas —
         are skipped and counted, so one bad entry never blocks history.
         """
@@ -203,6 +218,13 @@ class RunRegistry:
                     json.loads(path.read_text(encoding="utf-8"))))
             except (OSError, ValueError, KeyError, TypeError):
                 corrupt += 1
+        if command:
+            needle = command.lower()
+            loaded = [
+                e for e in loaded
+                if needle in e.command.lower()
+                or needle in " ".join(e.argv).lower()
+            ]
         loaded.sort(key=lambda e: (e.created_unix, e.run_id), reverse=True)
         if limit is not None:
             loaded = loaded[:limit]
@@ -322,6 +344,7 @@ def record_invocation(command: str,
             manifest=staged.get("manifest"),
             metrics=staged.get("metrics"),
             plans=plans,
+            hotspot=staged.get("hotspot"),
         )
     except Exception:
         return None

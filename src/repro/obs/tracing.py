@@ -86,8 +86,16 @@ class Tracer:
         self.roots: List[Span] = []
         self._stack: List[Span] = []
         # perf_counter has an arbitrary epoch; exported timestamps are
-        # relative to the first span of the trace.
+        # relative to the first span of the trace.  The matching unix
+        # time is kept so spans serialized by other processes (pool
+        # workers, whose perf_counter epoch differs) can be re-anchored
+        # onto this trace's timeline.
         self._epoch: Optional[float] = None
+        self._epoch_unix: Optional[float] = None
+        # Pre-rendered Chrome events absorbed from other processes.
+        self._foreign_events: List[Dict[str, Any]] = []
+        self._foreign_pids: List[int] = []
+        self._foreign_min_unix: Optional[float] = None
 
     # -- recording ------------------------------------------------------
     def span(self, name: str, **attrs: Any):
@@ -110,6 +118,7 @@ class Tracer:
         span.end_s = now
         if self._epoch is None:
             self._epoch = now
+            self._epoch_unix = time.time()
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -119,6 +128,7 @@ class Tracer:
         span.start_s = time.perf_counter()
         if self._epoch is None:
             self._epoch = span.start_s
+            self._epoch_unix = time.time()
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -144,6 +154,61 @@ class Tracer:
         self.roots = []
         self._stack = []
         self._epoch = None
+        self._epoch_unix = None
+        self._foreign_events = []
+        self._foreign_pids = []
+        self._foreign_min_unix = None
+
+    # -- cross-process merge --------------------------------------------
+    def absorb_serialized(self, spans: List[Dict[str, Any]], pid: int,
+                          process_name: Optional[str] = None) -> None:
+        """Merge spans serialized by another process onto this trace.
+
+        ``spans`` is the output of :func:`serialize_spans` run in the
+        other process: a span forest with **unix** timestamps (the only
+        clock two processes share).  Each span becomes a complete event
+        in a per-``pid`` lane; a ``process_name`` metadata event labels
+        the lane.  Works even while this tracer is disabled — the data
+        was already collected elsewhere.
+        """
+        if not spans:
+            return
+        # Keep raw unix stamps; ts conversion happens at export time,
+        # anchored at the earliest event across *all* processes — batches
+        # arrive in sidecar-hash order, not chronological order, so no
+        # single batch can safely fix the anchor.
+        first = min(span["start_unix"] for span in spans)
+        if self._foreign_min_unix is None or first < self._foreign_min_unix:
+            self._foreign_min_unix = first
+        if pid not in self._foreign_pids:
+            self._foreign_pids.append(pid)
+            self._foreign_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name or f"worker-{pid}"},
+            })
+
+        def emit(span: Dict[str, Any]) -> None:
+            self._foreign_events.append({
+                "name": span["name"],
+                "ph": "X",
+                "start_unix": span["start_unix"],
+                "dur": max(0.0, span["end_unix"] - span["start_unix"]) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": dict(span.get("attrs") or {}),
+            })
+            for child in span.get("children") or ():
+                emit(child)
+
+        for span in spans:
+            emit(span)
+
+    def foreign_pids(self) -> List[int]:
+        """PIDs whose spans have been absorbed into this trace."""
+        return list(self._foreign_pids)
 
     # -- export ---------------------------------------------------------
     def to_chrome_trace(self, metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -155,6 +220,15 @@ class Tracer:
         """
         events: List[Dict[str, Any]] = []
         epoch = self._epoch or 0.0
+        # One shared zero across processes: the earliest event anywhere.
+        # Local spans shift right when a worker span started first.
+        anchor_unix = None
+        local_offset_us = 0.0
+        if self._foreign_min_unix is not None:
+            anchor_unix = self._foreign_min_unix
+            if self.roots and self._epoch_unix is not None:
+                anchor_unix = min(anchor_unix, self._epoch_unix)
+                local_offset_us = (self._epoch_unix - anchor_unix) * 1e6
 
         def emit(span: Span) -> None:
             end = span.end_s if span.end_s is not None else time.perf_counter()
@@ -162,7 +236,7 @@ class Tracer:
                 {
                     "name": span.name,
                     "ph": "X",
-                    "ts": (span.start_s - epoch) * 1e6,
+                    "ts": (span.start_s - epoch) * 1e6 + local_offset_us,
                     "dur": (end - span.start_s) * 1e6,
                     "pid": 1,
                     "tid": 1,
@@ -174,6 +248,23 @@ class Tracer:
 
         for root in self.roots:
             emit(root)
+        if self._foreign_events:
+            if events:
+                events.append({
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"name": "main"},
+                })
+            for event in self._foreign_events:
+                if event.get("ph") == "M":
+                    events.append(event)
+                    continue
+                converted = dict(event)
+                start_unix = converted.pop("start_unix")
+                converted["ts"] = (start_unix - (anchor_unix or start_unix)) * 1e6
+                events.append(converted)
         trace: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
         if metadata:
             trace["metadata"] = metadata
@@ -215,3 +306,25 @@ class Tracer:
         if len(lines) == 1:
             lines.append("(no spans recorded)")
         return "\n".join(lines)
+
+
+def serialize_spans(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Serialize a tracer's span forest with **unix** timestamps.
+
+    ``perf_counter`` epochs are per-process, so spans shipped across a
+    process boundary (worker → parent sidecar) carry unix times instead;
+    :meth:`Tracer.absorb_serialized` re-anchors them on the other side.
+    """
+    offset = time.time() - time.perf_counter()
+
+    def encode(span: Span) -> Dict[str, Any]:
+        end = span.end_s if span.end_s is not None else time.perf_counter()
+        return {
+            "name": span.name,
+            "attrs": dict(span.attrs),
+            "start_unix": span.start_s + offset,
+            "end_unix": end + offset,
+            "children": [encode(child) for child in span.children],
+        }
+
+    return [encode(root) for root in tracer.roots]
