@@ -1,0 +1,64 @@
+"""Functional systolic-array hot path: skew-cancelled matmul vs stepping.
+
+Times a full convolution through the weight-stationary tiling
+(:func:`repro.functional.systolic.conv2d_systolic`) plus one raw tile on
+each dataflow.  By default the arrays use the skew-cancelled integer
+matmul ``run()``; set ``SUPERNPU_SYSTOLIC=stepped`` to time the
+cycle-accurate ``run_stepped()`` emulation the matmul is proven bitwise
+equal to (``BENCH_pr8_scalar.json`` was recorded that way).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.functional.os_systolic import OSSystolicArray
+from repro.functional.systolic import SystolicArray, conv2d_systolic
+from repro.functional.reference import conv2d_reference
+
+_STEPPED = os.environ.get("SUPERNPU_SYSTOLIC", "") == "stepped"
+
+_RNG = np.random.default_rng(2020)
+_IFMAP = _RNG.integers(-8, 8, size=(8, 14, 14))
+_WEIGHTS = _RNG.integers(-8, 8, size=(16, 8, 3, 3))
+_TILE_WEIGHTS = _RNG.integers(-8, 8, size=(32, 32))
+_TILE_STREAMS = _RNG.integers(-8, 8, size=(32, 64))
+_OS_X = _RNG.integers(-8, 8, size=(32, 72))
+_OS_W = _RNG.integers(-8, 8, size=(32, 72))
+
+
+def _ws_tile():
+    array = SystolicArray(32, 32)
+    array.load_weights(_TILE_WEIGHTS)
+    runner = array.run_stepped if _STEPPED else array.run
+    return runner(_TILE_STREAMS)
+
+
+def _os_tile():
+    array = OSSystolicArray(32, 32)
+    runner = array.run_stepped if _STEPPED else array.run
+    return runner(_OS_X, _OS_W)
+
+
+def test_systolic_ws_tile(benchmark):
+    outputs = benchmark(_ws_tile)
+    assert outputs.shape == (32, 64)
+    assert outputs.dtype == np.int64
+
+
+def test_systolic_os_tile(benchmark):
+    outputs = benchmark(_os_tile)
+    assert outputs.shape == (32, 32)
+    assert outputs.dtype == np.int64
+
+
+def test_systolic_conv2d(benchmark):
+    """Tiled conv through the WS array; bit-checked against the reference."""
+    output = benchmark(
+        conv2d_systolic, _IFMAP, _WEIGHTS, 32, 32, 1, 1
+    )
+    np.testing.assert_array_equal(
+        output, conv2d_reference(_IFMAP, _WEIGHTS, stride=1, padding=1)
+    )

@@ -1,0 +1,61 @@
+"""JSIM transient-solver hot path: the batched RK4 array-program.
+
+Times one SFQ pulse traversing a 16-stage JTL — large enough that the
+scalar per-step implementation pays its per-element scatter cost on
+every RK4 stage, which is exactly what the vectorized solver folds into
+precomputed incidence operators.
+
+Set ``SUPERNPU_JSIM_SOLVER=reference`` to time the preserved scalar
+implementation (:class:`repro.jsim.ScalarReferenceSolver`) instead:
+``BENCH_pr8_scalar.json`` was recorded that way, and
+``supernpu bench compare BENCH_pr8.json --baseline BENCH_pr8_scalar.json``
+shows the before/after ratio on identical physics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.jsim import (
+    ScalarReferenceSolver,
+    TransientSolver,
+    build_jtl,
+    drive_jtl,
+    switch_count,
+)
+
+_REFERENCE = os.environ.get("SUPERNPU_JSIM_SOLVER", "") == "reference"
+
+#: One pulse through this many junctions; duration long enough to arrive.
+STAGES = 16
+DURATION_PS = 75.0
+BATCH = 16
+
+
+def _pulsed_jtl():
+    jtl = build_jtl(STAGES)
+    drive_jtl(jtl, 25.0)
+    return jtl
+
+
+def test_jsim_solver_jtl_transient(benchmark):
+    jtl = _pulsed_jtl()
+    solver_cls = ScalarReferenceSolver if _REFERENCE else TransientSolver
+    solver = solver_cls(jtl.circuit)
+    result = benchmark(solver.run, DURATION_PS)
+    # The physics sanity check: the pulse reached the far end.
+    assert switch_count(result, jtl.nodes[-1]) >= 1
+
+
+@pytest.mark.skipif(
+    _REFERENCE, reason="the scalar reference has no batched entry point"
+)
+def test_jsim_solver_run_batch(benchmark):
+    """Batch amortization: 16 independent transients as one stacked system."""
+    jtl = _pulsed_jtl()
+    solver = TransientSolver(jtl.circuit)
+    results = benchmark(solver.run_batch, DURATION_PS, batch=BATCH)
+    assert results.batch == BATCH
+    assert switch_count(results.member(BATCH - 1), jtl.nodes[-1]) >= 1

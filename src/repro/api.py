@@ -24,13 +24,23 @@ uniformly::
     with api.session(jobs=4, cache_dir="~/.cache/supernpu"):
         suite = api.evaluate()                          # Fig. 23, fanned out
 
+Execution knobs (fan-out, cache, retries, timeouts, progress, hotspot
+profiling) are one :class:`RunOptions` value shared by every verb —
+``api.evaluate(options=RunOptions(jobs=4))`` is the one-shot spelling of
+the session block above.  Plans evaluate either point-by-point
+(:func:`run_plan`) or as dense axis-shaped grids (:func:`evaluate_grid`).
+
 The CLI commands are thin wrappers over these functions.
 """
 
 from __future__ import annotations
 
+import sys
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.baselines.scalesim import TPU_CORE, CMOSNPUConfig
 from repro.core.ablate import AblationRow, ablation_study
@@ -48,12 +58,16 @@ from repro.core.jobs import (
     use_runner,
 )
 from repro.core.plan import (
+    EvaluatedGrid,
     ExperimentPlan,
+    GridEvaluation,
     ResultSet,
+    evaluate_grid as _evaluate_grid,
     execute as _execute_plan,
     named_plans,
     plan_by_name,
 )
+from repro.core.resilience import RetryPolicy
 from repro.device.cells import CellLibrary, Technology, library_for
 from repro.errors import ConfigError, InvalidSpecError, InvalidWorkloadSpecError
 from repro.estimator.arch_level import NPUEstimate
@@ -76,18 +90,22 @@ __all__ = [
     "DesignLike",
     "WorkloadLike",
     "TechnologyLike",
+    "RunOptions",
     "design",
     "workload",
     "library",
     "estimate",
     "simulate",
     "evaluate",
+    "evaluate_grid",
     "compare",
     "ablate",
     "plans",
     "plan",
     "run_plan",
+    "EvaluatedGrid",
     "ExperimentPlan",
+    "GridEvaluation",
     "ResultSet",
     "HotspotProfile",
     "HotspotProfiler",
@@ -162,18 +180,112 @@ def library(technology: TechnologyLike = "rsfq") -> CellLibrary:
     )
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """One bundle of execution knobs, shared by every ``repro.api`` verb.
+
+    Where the verbs used to grow divergent keyword arguments, they now
+    all take ``options=RunOptions(...)``:
+
+    * ``jobs`` — parallel workers (1 = in-process serial);
+    * ``cache_dir`` — result-cache directory (``None`` = no cache);
+    * ``no_cache`` — force cache off even if ``cache_dir`` is set;
+    * ``retries`` — re-attempts for transient task failures;
+    * ``timeout_s`` — per-task wall-clock bound (parallel mode);
+    * ``progress`` — a live :class:`~repro.obs.progress.ProgressReporter`
+      (``None`` = off);
+    * ``hotspot`` / ``hotspot_mode`` / ``hotspot_out`` — profile the
+      call's host self-time (sampling or tracing); the collapsed stacks
+      go to ``hotspot_out`` when given, otherwise a one-line summary is
+      printed to stderr.
+
+    The old per-verb ``runner=`` keyword still works but warns once per
+    verb (:class:`DeprecationWarning`); new code should pass ``options=``
+    or install an ambient session (:func:`session` / :func:`use_runner`).
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    no_cache: bool = False
+    retries: int = 2
+    timeout_s: Optional[float] = None
+    progress: Optional[ProgressReporter] = None
+    hotspot: bool = False
+    hotspot_mode: str = "sampling"
+    hotspot_out: Optional[Union[str, Path]] = None
+
+
+#: Verbs whose deprecated ``runner=`` keyword already warned this process.
+_RUNNER_DEPRECATION_WARNED: set = set()
+
+
+def _warn_runner_kwarg(verb: str) -> None:
+    if verb in _RUNNER_DEPRECATION_WARNED:
+        return
+    _RUNNER_DEPRECATION_WARNED.add(verb)
+    warnings.warn(
+        f"the runner= keyword of repro.api.{verb} is deprecated; pass "
+        "options=RunOptions(...) or install an ambient session "
+        "(api.session(...) / api.use_runner(...)) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+@contextmanager
+def _execution_scope(verb: str,
+                     options: Optional[RunOptions],
+                     runner: Optional[JobRunner]) -> Iterator[JobRunner]:
+    """Resolve ``options=`` / deprecated ``runner=`` to an active runner."""
+    if options is not None and runner is not None:
+        raise ConfigError(
+            f"repro.api.{verb} got both options= and the deprecated "
+            "runner=; pass only options=",
+            code="api.options_conflict", verb=verb)
+    if runner is not None:
+        _warn_runner_kwarg(verb)
+        with use_runner(runner):
+            yield runner
+        return
+    if options is None:
+        yield get_runner()
+        return
+    profiler = None
+    if options.hotspot:
+        profiler = HotspotProfiler(mode=options.hotspot_mode)
+        profiler.start()
+    try:
+        cache_dir = None if options.no_cache else options.cache_dir
+        with session(jobs=options.jobs, cache_dir=cache_dir,
+                     retry=RetryPolicy(max_retries=options.retries),
+                     timeout_s=options.timeout_s,
+                     progress=options.progress) as scoped:
+            yield scoped
+    finally:
+        if profiler is not None:
+            profile = profiler.stop()
+            if options.hotspot_out is not None:
+                with open(options.hotspot_out, "w", encoding="utf-8") as fh:
+                    fh.write(profile.collapsed())
+            else:
+                summary = profile.summary(top_n=3)
+                print(f"hotspot [{verb}]: {summary}", file=sys.stderr)
+
+
 def estimate(design_spec: DesignLike, *,
              technology: TechnologyLike = "rsfq",
+             options: Optional[RunOptions] = None,
              runner: Optional[JobRunner] = None) -> NPUEstimate:
     """Frequency / power / area estimation of one design point."""
-    runner = runner or get_runner()
-    return runner.estimate(design(design_spec), library(technology))
+    with _execution_scope("estimate", options, runner) as scoped:
+        return scoped.estimate(design(design_spec), library(technology))
 
 
 def simulate(design_spec: DesignLike, workload_spec: WorkloadLike, *,
              batch: Optional[int] = None,
              technology: TechnologyLike = "rsfq",
              timeline: Optional[CycleTimeline] = None,
+             options: Optional[RunOptions] = None,
              runner: Optional[JobRunner] = None) -> SimulationResult:
     """Cycle-level simulation of one workload on one design.
 
@@ -186,56 +298,64 @@ def simulate(design_spec: DesignLike, workload_spec: WorkloadLike, *,
     network = workload(workload_spec)
     lib = library(technology)
     resolved_batch = batch if batch is not None else batch_for(config, network)
-    if timeline is not None:
-        from repro.simulator.engine import simulate as engine_simulate
+    with _execution_scope("simulate", options, runner) as scoped:
+        if timeline is not None:
+            from repro.simulator.engine import simulate as engine_simulate
 
-        runner = runner or get_runner()
-        est = runner.estimate(config, lib)
-        return engine_simulate(config, network, batch=resolved_batch,
-                               estimate=est, timeline=timeline)
-    runner = runner or get_runner()
-    return runner.run_one(SimTask(config, network, resolved_batch, lib))
+            est = scoped.estimate(config, lib)
+            return engine_simulate(config, network, batch=resolved_batch,
+                                   estimate=est, timeline=timeline)
+        return scoped.run_one(SimTask(config, network, resolved_batch, lib))
 
 
 def evaluate(designs: Optional[Sequence[DesignLike]] = None,
              workloads: Optional[Sequence[WorkloadLike]] = None, *,
              technology: TechnologyLike = "rsfq",
              tpu: CMOSNPUConfig = TPU_CORE,
+             options: Optional[RunOptions] = None,
              runner: Optional[JobRunner] = None) -> EvaluationSuite:
     """The Fig. 23 suite: TPU baseline + design points x workloads."""
-    return evaluate_suite(
-        designs=None if designs is None else [design(d) for d in designs],
-        workloads=None if workloads is None else [workload(w) for w in workloads],
-        library=library(technology),
-        tpu=tpu,
-        runner=runner,
-    )
+    with _execution_scope("evaluate", options, runner) as scoped:
+        return evaluate_suite(
+            designs=None if designs is None else [design(d) for d in designs],
+            workloads=None if workloads is None
+            else [workload(w) for w in workloads],
+            library=library(technology),
+            tpu=tpu,
+            runner=scoped,
+        )
 
 
 def compare(designs: Sequence[DesignLike],
             workloads: Optional[Sequence[WorkloadLike]] = None, *,
             technology: TechnologyLike = "rsfq",
+            options: Optional[RunOptions] = None,
             runner: Optional[JobRunner] = None) -> List[ComparisonColumn]:
     """Side-by-side scorecards for any set of design points."""
-    return _compare(
-        [design(d) for d in designs],
-        workloads=None if workloads is None else [workload(w) for w in workloads],
-        library=library(technology),
-        runner=runner,
-    )
+    with _execution_scope("compare", options, runner) as scoped:
+        return _compare(
+            [design(d) for d in designs],
+            workloads=None if workloads is None
+            else [workload(w) for w in workloads],
+            library=library(technology),
+            runner=scoped,
+        )
 
 
 def ablate(base: Optional[DesignLike] = None,
            workloads: Optional[Sequence[WorkloadLike]] = None, *,
            technology: TechnologyLike = "rsfq",
+           options: Optional[RunOptions] = None,
            runner: Optional[JobRunner] = None) -> List[AblationRow]:
     """One-factor-at-a-time ablation of a design (default: SuperNPU)."""
-    return ablation_study(
-        workloads=None if workloads is None else [workload(w) for w in workloads],
-        library=library(technology),
-        base=None if base is None else design(base),
-        runner=runner,
-    )
+    with _execution_scope("ablate", options, runner) as scoped:
+        return ablation_study(
+            workloads=None if workloads is None
+            else [workload(w) for w in workloads],
+            library=library(technology),
+            base=None if base is None else design(base),
+            runner=scoped,
+        )
 
 
 def plans() -> List[str]:
@@ -249,6 +369,7 @@ def plan(name: str) -> ExperimentPlan:
 
 
 def run_plan(plan_or_name: Union[str, ExperimentPlan], *,
+             options: Optional[RunOptions] = None,
              runner: Optional[JobRunner] = None) -> ResultSet:
     """Execute a plan (or a registered plan name) through the job engine.
 
@@ -258,7 +379,26 @@ def run_plan(plan_or_name: Union[str, ExperimentPlan], *,
     """
     resolved = plan_by_name(plan_or_name) if isinstance(plan_or_name, str) \
         else plan_or_name
-    return _execute_plan(resolved, runner=runner)
+    with _execution_scope("run_plan", options, runner) as scoped:
+        return _execute_plan(resolved, runner=scoped)
+
+
+def evaluate_grid(plan_or_name: Union[str, ExperimentPlan], *,
+                  options: Optional[RunOptions] = None,
+                  runner: Optional[JobRunner] = None) -> GridEvaluation:
+    """Run a plan and return dense, axis-shaped per-grid result arrays.
+
+    The lowered design points still execute through the job engine as
+    one deduplicated submission (cache, fan-out, retries, checkpoints
+    all apply); the returned :class:`GridEvaluation` adds the vectorized
+    result surface — ``evaluation.grid().array("mac_per_s")`` is the
+    whole grid as one numpy array, shaped by the grid's axes, instead of
+    a hand-rolled loop over per-point records.
+    """
+    resolved = plan_by_name(plan_or_name) if isinstance(plan_or_name, str) \
+        else plan_or_name
+    with _execution_scope("evaluate_grid", options, runner) as scoped:
+        return _evaluate_grid(resolved, runner=scoped)
 
 
 def paper_workloads() -> List[Network]:

@@ -951,8 +951,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
     # run
     session = _ObsSession(args, "plan")
     mark = _plan_mark()
-    with _jobs_session(args) as runner:
-        resultset = api.run_plan(plan, runner=runner)
+    with _jobs_session(args):
+        resultset = api.run_plan(plan)
         if args.json:
             _print_envelope("plan", {
                 "name": plan.name,

@@ -23,7 +23,10 @@ hand-rolling that loop, a driver now declares the grid:
   :class:`~repro.core.jobs.JobRunner`, inheriting the cache, parallel
   fan-out, retry/timeout handling, and ``SweepCheckpoint`` resume for
   free, and returns a :class:`ResultSet` of provenance-stamped
-  :class:`PlanResult` records.
+  :class:`PlanResult` records;
+* :func:`evaluate_grid` — :func:`execute` plus a dense axis-shaped
+  result surface per grid (:class:`EvaluatedGrid`), for figure code
+  that wants ``grid.array("mac_per_s")`` instead of per-point loops.
 
 Identical tasks inside one plan are deduplicated before submission (the
 payload-materialization guarantee of the job layer makes reusing a
@@ -47,6 +50,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro import obs
 from repro.baselines.scalesim import CMOSNPUConfig
@@ -612,6 +617,137 @@ def execute(plan: ExperimentPlan, runner: Optional[JobRunner] = None) -> ResultS
     del _RECENT_PLANS[:-_RECENT_LIMIT]
     return ResultSet(plan, lowered.plan_hash, results,
                      points_cached=cached, points_executed=executed)
+
+
+# -- grid-shaped evaluation ------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class EvaluatedGrid:
+    """One grid's results, reshaped onto its axes.
+
+    ``results`` is an object ndarray of :class:`PlanResult` shaped by the
+    axis lengths; because lowering emits points with the last axis
+    varying fastest, a plain C-order reshape is exact.  :meth:`array`
+    turns any scalar result attribute into a dense float array ready for
+    figure code — the vectorized surface the per-point loop never had.
+    """
+
+    name: str
+    kind: str
+    axis_names: Tuple[str, ...]
+    axis_labels: Tuple[Tuple[str, ...], ...]
+    results: "np.ndarray"
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.results.shape
+
+    def array(self, metric: str = "mac_per_s") -> "np.ndarray":
+        """Dense metric array over the grid (``nan`` where undefined).
+
+        ``metric`` names an attribute of the point's result object — a
+        :class:`~repro.simulator.results.SimulationResult` for simulate
+        grids (``mac_per_s``, ``latency_s``, ``total_cycles``, ...) or an
+        :class:`~repro.estimator.arch_level.NPUEstimate` for estimate
+        grids (``frequency_ghz``, ``peak_tmacs``, ``area_mm2``, ...).
+        """
+        values = []
+        for result in self.results.ravel():
+            source = result.run if result.run is not None else result.estimate
+            value = getattr(source, metric, None)
+            values.append(float(value) if value is not None else float("nan"))
+        return np.array(values, dtype=float).reshape(self.results.shape)
+
+    def result(self, **coords: str) -> PlanResult:
+        """The one point at the given axis labels (every axis required)."""
+        index = []
+        remaining = dict(coords)
+        for name, labels in zip(self.axis_names, self.axis_labels):
+            if name not in remaining:
+                raise ConfigError(
+                    f"grid {self.name!r} needs a label for axis {name!r}; "
+                    f"axes: {list(self.axis_names)}",
+                    code="plan.missing_axis", grid=self.name, axis=name)
+            label = remaining.pop(name)
+            try:
+                index.append(labels.index(label))
+            except ValueError:
+                raise ConfigError(
+                    f"axis {name!r} of grid {self.name!r} has no label "
+                    f"{label!r}; labels: {list(labels)}",
+                    code="plan.unknown_label", grid=self.name, axis=name,
+                ) from None
+        if remaining:
+            raise ConfigError(
+                f"grid {self.name!r} has no axes {sorted(remaining)}; "
+                f"axes: {list(self.axis_names)}",
+                code="plan.unknown_axis", grid=self.name)
+        return self.results[tuple(index)]
+
+
+class GridEvaluation:
+    """:func:`evaluate_grid`'s output: each grid of a plan, axis-shaped."""
+
+    def __init__(self, resultset: ResultSet,
+                 grids: "OrderedDict[str, EvaluatedGrid]") -> None:
+        self.resultset = resultset
+        self.plan = resultset.plan
+        self.plan_hash = resultset.plan_hash
+        self.grids = grids
+
+    def __iter__(self) -> Iterator[EvaluatedGrid]:
+        return iter(self.grids.values())
+
+    def __getitem__(self, name: str) -> EvaluatedGrid:
+        try:
+            return self.grids[name]
+        except KeyError:
+            raise ConfigError(
+                f"plan {self.plan.name!r} has no grid {name!r}; "
+                f"grids: {list(self.grids)}",
+                code="plan.unknown_grid", plan=self.plan.name) from None
+
+    def grid(self, name: Optional[str] = None) -> EvaluatedGrid:
+        """One grid — by name, or the only one when the plan has just one."""
+        if name is not None:
+            return self[name]
+        if len(self.grids) != 1:
+            raise ConfigError(
+                f"plan {self.plan.name!r} has {len(self.grids)} grids; "
+                f"name one of {list(self.grids)}",
+                code="plan.ambiguous_grid", plan=self.plan.name)
+        return next(iter(self.grids.values()))
+
+
+def evaluate_grid(plan: ExperimentPlan,
+                  runner: Optional[JobRunner] = None) -> GridEvaluation:
+    """Execute a plan and reshape its points onto dense per-grid arrays.
+
+    The whole plan still goes through :func:`execute` as one deduplicated
+    submission (per-point caching, parallel fan-out, retries, and
+    checkpoint resume all apply unchanged); what this adds is the dense
+    grid-shaped result surface — ``evaluation.grid().array("mac_per_s")``
+    instead of a hand-rolled loop over :meth:`ResultSet.select`.
+    """
+    resultset = execute(plan, runner=runner)
+    grids: "OrderedDict[str, EvaluatedGrid]" = OrderedDict()
+    cursor = 0
+    for grid in plan.grids:
+        dims = tuple(len(axis.values) for axis in grid.axes)
+        count = 1
+        for dim in dims:
+            count *= dim
+        block = np.empty(count, dtype=object)
+        block[:] = resultset.results[cursor:cursor + count]
+        cursor += count
+        grids[grid.name] = EvaluatedGrid(
+            name=grid.name,
+            kind=grid.kind,
+            axis_names=tuple(axis.name for axis in grid.axes),
+            axis_labels=tuple(axis.labels for axis in grid.axes),
+            results=block.reshape(dims),
+        )
+    return GridEvaluation(resultset, grids)
 
 
 # -- the named registry ----------------------------------------------------

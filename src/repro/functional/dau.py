@@ -46,20 +46,9 @@ def row_stream(
     Zero entries are the Fig. 9 "bubbles" inserted where the convolution
     window overlaps the zero padding.
     """
-    channels, height, width = ifmap.shape
-    channel, r, s = reduction_index_to_weight(reduction_index, channels, kernel_h, kernel_w)
-    out_h = (height + 2 * padding - kernel_h) // stride + 1
-    out_w = (width + 2 * padding - kernel_w) // stride + 1
-    stream = np.zeros(out_h * out_w, dtype=ifmap.dtype)
-    position = 0
-    for e in range(out_h):
-        y = e * stride + r - padding
-        for f in range(out_w):
-            x = f * stride + s - padding
-            if 0 <= y < height and 0 <= x < width:
-                stream[position] = ifmap[channel, y, x]
-            position += 1
-    return stream
+    return aligned_streams(
+        ifmap, [reduction_index], kernel_h, kernel_w, stride, padding
+    )[0]
 
 
 def aligned_streams(
@@ -70,13 +59,33 @@ def aligned_streams(
     stride: int = 1,
     padding: int = 0,
 ) -> np.ndarray:
-    """Stack the streams for a set of PE rows: shape (rows, E*F)."""
-    return np.stack(
-        [
-            row_stream(ifmap, index, kernel_h, kernel_w, stride, padding)
-            for index in reduction_indices
-        ]
-    )
+    """Stack the streams for a set of PE rows: shape (rows, E*F).
+
+    One fancy-index gather instead of a Python double loop per row; the
+    out-of-bounds window positions become zero bubbles via a validity
+    mask, so the result is bit-identical to the scalar selection.
+    """
+    channels, height, width = ifmap.shape
+    indices = np.asarray(list(reduction_indices), dtype=np.intp)
+    if indices.size == 0:
+        raise ValueError("need at least one reduction index")
+    if indices.min() < 0 or indices.max() >= channels * kernel_h * kernel_w:
+        raise ValueError("reduction index out of range")
+    channel, rest = np.divmod(indices, kernel_h * kernel_w)
+    r, s = np.divmod(rest, kernel_w)
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    # Pixel coordinates per (row, e, f), broadcast to (rows, out_h, out_w).
+    y = np.arange(out_h)[None, :, None] * stride + r[:, None, None] - padding
+    x = np.arange(out_w)[None, None, :] * stride + s[:, None, None] - padding
+    valid = (y >= 0) & (y < height) & (x >= 0) & (x < width)
+    gathered = ifmap[
+        channel[:, None, None],
+        np.clip(y, 0, height - 1),
+        np.clip(x, 0, width - 1),
+    ]
+    streams = np.where(valid, gathered, np.zeros((), dtype=ifmap.dtype))
+    return streams.reshape(indices.size, out_h * out_w)
 
 
 def delay_schedule(rows: int, pe_pipeline_stages: int) -> List[int]:

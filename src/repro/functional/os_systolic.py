@@ -9,6 +9,11 @@ Together with :mod:`repro.functional.systolic` (weight-stationary), this
 gives both of the paper's Fig. 6 dataflows a functional existence proof;
 the *performance* comparison between them lives in
 :mod:`repro.simulator.dataflow_ablation`.
+
+The operand skews align each product pair exactly, so a full run reduces
+to one integer matmul — :meth:`OSSystolicArray.run` does that, while
+:meth:`OSSystolicArray.run_stepped` keeps the per-cycle emulation as the
+golden reference the matmul is tested bitwise-equal against.
 """
 
 from __future__ import annotations
@@ -61,10 +66,36 @@ class OSSystolicArray:
     def run(self, x_streams: np.ndarray, w_streams: np.ndarray) -> np.ndarray:
         """Stream full reduction sequences; returns the (rows, cols) outputs.
 
+        The operand skews align ``x[r][d]`` with ``w[c][d]`` in PE(r, c),
+        so each accumulator ends up holding the plain dot product
+        ``sum_d x[r][d] * w[c][d]`` — one integer matmul, bit-identical
+        (int64 wraparound included, integer addition being associative)
+        to the cycle-stepped :meth:`run_stepped`.
+
         Args:
             x_streams: shape (rows_used, D) — reduction sequence per output
                 position.
             w_streams: shape (cols_used, D) — reduction sequence per filter.
+        """
+        if x_streams.ndim != 2 or w_streams.ndim != 2:
+            raise ValueError("streams must be 2-D")
+        if x_streams.shape[1] != w_streams.shape[1]:
+            raise ValueError("operand streams must share the reduction length")
+        rows_used = x_streams.shape[0]
+        cols_used = w_streams.shape[0]
+        if rows_used > self.rows or cols_used > self.cols:
+            raise ValueError("streams exceed the array")
+        self.reset()
+        return x_streams.astype(np.int64, copy=False) @ w_streams.astype(
+            np.int64, copy=False
+        ).T
+
+    def run_stepped(self, x_streams: np.ndarray, w_streams: np.ndarray) -> np.ndarray:
+        """Cycle-stepped golden reference for :meth:`run` (same contract).
+
+        Skews both operand sets and advances the grid one clock at a
+        time — the original dataflow emulation, kept for equivalence
+        tests and stepped benchmarking (``SUPERNPU_SYSTOLIC=stepped``).
         """
         if x_streams.ndim != 2 or w_streams.ndim != 2:
             raise ValueError("streams must be 2-D")

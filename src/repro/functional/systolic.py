@@ -10,6 +10,11 @@ row from the left skewed one cycle per row and travel right; partial sums
 enter each column from the top and travel down, accumulating one weight
 per row; column ``c``'s results emerge at the bottom after ``rows + c``
 cycles of skew.
+
+Because those skews cancel exactly, a whole tile run reduces to one
+integer matmul — :meth:`SystolicArray.run` does that, while
+:meth:`SystolicArray.run_stepped` keeps the per-cycle emulation as the
+golden reference the matmul is tested bitwise-equal against.
 """
 
 from __future__ import annotations
@@ -73,6 +78,13 @@ class SystolicArray:
     def run(self, streams: np.ndarray) -> np.ndarray:
         """Stream a whole tile through the array and collect column outputs.
 
+        The input/output skews of the cycle-stepped dataflow cancel
+        exactly: column ``c``'s ``k``-th de-skewed result is
+        ``sum_r weights[r, c] * streams[r, k]``, so the whole run
+        collapses to one integer matmul — bit-identical (including int64
+        wraparound, since integer addition is associative) to stepping
+        the grid cycle by cycle, which :meth:`run_stepped` still does.
+
         Args:
             streams: shape (rows, T) — one already-aligned value stream per
                 row (rows beyond ``streams.shape[0]`` receive zeros).
@@ -80,6 +92,25 @@ class SystolicArray:
         Returns:
             Array of shape (cols, T): for every column, the T accumulated
             results (one per stream position), de-skewed.
+        """
+        if streams.ndim != 2:
+            raise ValueError("streams must be 2-D (rows, time)")
+        used_rows, _ = streams.shape
+        if used_rows > self.rows:
+            raise ValueError("more streams than array rows")
+        # Reset the pipeline registers so back-to-back runs stay
+        # independent (load_weights clears them between tiles anyway).
+        self._x[:] = 0
+        self._psum[:] = 0
+        return self.weights[:used_rows].T @ streams.astype(np.int64, copy=False)
+
+    def run_stepped(self, streams: np.ndarray) -> np.ndarray:
+        """Cycle-stepped golden reference for :meth:`run` (same contract).
+
+        Feeds the skewed streams through :meth:`step` one clock at a time
+        and de-skews the bottom-edge outputs — the original dataflow
+        emulation, kept for equivalence tests and stepped benchmarking
+        (``SUPERNPU_SYSTOLIC=stepped``).
         """
         if streams.ndim != 2:
             raise ValueError("streams must be 2-D (rows, time)")

@@ -1,9 +1,16 @@
-"""Stimulus waveforms: SFQ trigger pulses and DC bias ramps."""
+"""Stimulus waveforms: SFQ trigger pulses and DC bias ramps.
+
+Every factory returns a waveform callable that accepts either a scalar
+time (returning a ``float``) or a numpy array of times (returning an
+array) — the vectorized solver evaluates each source once over the whole
+half-step time grid instead of once per RK4 stage.
+"""
 
 from __future__ import annotations
 
-import math
 from typing import Callable
+
+import numpy as np
 
 
 def gaussian_pulse(
@@ -17,8 +24,9 @@ def gaussian_pulse(
         raise ValueError("pulse amplitude and width must be positive")
 
     def waveform(t: float) -> float:
-        x = (t - center_ps) / sigma_ps
-        return amplitude_ua * math.exp(-0.5 * x * x)
+        x = (np.asarray(t, dtype=float) - center_ps) / sigma_ps
+        value = amplitude_ua * np.exp(-0.5 * x * x)
+        return value if value.ndim else float(value)
 
     return waveform
 
@@ -52,8 +60,8 @@ def ramped_bias(level_ua: float, ramp_ps: float = 20.0) -> Callable[[float], flo
         raise ValueError("ramp time must be positive")
 
     def waveform(t: float) -> float:
-        if t >= ramp_ps:
-            return level_ua
-        return level_ua * t / ramp_ps
+        t = np.asarray(t, dtype=float)
+        value = np.where(t >= ramp_ps, level_ua, level_ua * t / ramp_ps)
+        return value if value.ndim else float(value)
 
     return waveform

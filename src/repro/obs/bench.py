@@ -85,6 +85,15 @@ SUBSETS: Dict[str, Optional[Tuple[str, ...]]] = {
         "bench_extension_energy", "bench_extension_latency",
         "bench_extension_multibatch", "bench_extension_transformer",
     ),
+    # The vectorized inner loops (jsim RK4, systolic dataflows) plus the
+    # end-to-end figure they feed; both benchmark files honor the
+    # SUPERNPU_JSIM_SOLVER=reference / SUPERNPU_SYSTOLIC=stepped switches
+    # for before/after recordings on identical physics.
+    "hotpath": (
+        "bench_jsim_solver",
+        "bench_functional_systolic",
+        "bench_fig23_performance",
+    ),
 }
 
 
