@@ -103,6 +103,7 @@ __all__ = [
     "plans",
     "plan",
     "run_plan",
+    "serve",
     "EvaluatedGrid",
     "ExperimentPlan",
     "GridEvaluation",
@@ -404,3 +405,18 @@ def evaluate_grid(plan_or_name: Union[str, ExperimentPlan], *,
 def paper_workloads() -> List[Network]:
     """The six benchmark CNNs, in canonical order."""
     return all_workloads()
+
+
+def serve(**config_kwargs):
+    """Construct the evaluation daemon (``repro.serve.EvalDaemon``).
+
+    Keyword arguments are :class:`repro.serve.ServeConfig` fields
+    (``cache_dir``, ``jobs``, ``quota_rate_per_s``, ...).  Call
+    ``.run()`` on the result to block until SIGTERM, or use
+    ``repro.serve.daemon_in_thread`` to host one inside a test.  The
+    import is lazy because :mod:`repro.serve` resolves requests through
+    this facade.
+    """
+    from repro.serve import EvalDaemon, ServeConfig
+
+    return EvalDaemon(ServeConfig(**config_kwargs))

@@ -206,13 +206,19 @@ def estimate_to_dict(estimate: NPUEstimate) -> Dict[str, Any]:
 
 
 def estimate_from_dict(data: Dict[str, Any]) -> NPUEstimate:
+    # Units materialize in sorted-name order no matter how the payload
+    # was ordered on disk: derived sums (e.g. ``static_power_w``) fold
+    # floats in iteration order, so a cache hit (JSON written with
+    # sort_keys) and a fresh estimate must agree on that order to stay
+    # bitwise-identical.
     return NPUEstimate(
         config=NPUConfig(**data["config"]),
         technology=data["technology"],
         frequency_ghz=data["frequency_ghz"],
         cycle_time_ps=data["cycle_time_ps"],
         critical_path=data["critical_path"],
-        units={name: UnitEstimate(**unit) for name, unit in data["units"].items()},
+        units={name: UnitEstimate(**data["units"][name])
+               for name in sorted(data["units"])},
         wiring_area_mm2=data["wiring_area_mm2"],
         wiring_static_power_w=data["wiring_static_power_w"],
     )
@@ -228,6 +234,20 @@ class CacheStats:
     bytes: int
     by_kind: Dict[str, int] = field(default_factory=dict)
     quarantined: int = 0
+    tmp_swept: int = 0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (EPERM means alive-but-foreign)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
 
 
 class ResultCache:
@@ -251,6 +271,13 @@ class ResultCache:
                 code="cache.unwritable", hint="pick a writable --cache-dir",
                 path=str(self.root),
             ) from error
+        # A writer SIGKILLed between tmp-write and os.replace leaks its
+        # tmp file; a past process cannot clean up after itself, so every
+        # cache open sweeps on behalf of the dead.
+        try:
+            self.sweep_orphan_tmp()
+        except OSError:
+            pass
 
     def path_for(self, key: str) -> Path:
         """On-disk location of one entry."""
@@ -342,7 +369,44 @@ class ResultCache:
             return []
         return sorted(p for p in pen.iterdir() if p.is_file())
 
+    def sweep_orphan_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Remove tmp files orphaned by dead writers; returns how many.
+
+        Writes go through ``<entry>.tmp.<pid>`` + ``os.replace``; a writer
+        SIGKILLed in between leaves the tmp file forever (its own
+        unlink-on-error never runs).  A tmp file is an orphan when its
+        writer pid no longer exists, or — covering recycled pids and
+        mangled names — when it is older than ``max_age_s``.  Fresh tmp
+        files of live pids are in-flight writes and are left alone.
+        """
+        removed = 0
+        now = time.time()
+        for path in list(self.root.glob("*/*.tmp.*")):
+            if len(path.parent.name) != 2:  # hash buckets only
+                continue
+            try:
+                pid = int(path.name.rsplit(".", 1)[-1])
+            except ValueError:
+                pid = -1
+            try:
+                age_s = now - path.stat().st_mtime
+            except OSError:
+                continue  # already gone (another sweeper won the race)
+            if (pid > 0 and _pid_alive(pid)) and age_s <= max_age_s:
+                continue
+            if pid <= 0 and age_s <= max_age_s:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if removed:
+            obs.counter("jobs.cache.tmp_swept").inc(removed)
+        return removed
+
     def stats(self) -> CacheStats:
+        swept = self.sweep_orphan_tmp()
         entries = 0
         total_bytes = 0
         by_kind: Dict[str, int] = {}
@@ -359,7 +423,7 @@ class ResultCache:
                 kind = "corrupt"
             by_kind[kind] = by_kind.get(kind, 0) + 1
         return CacheStats(entries=entries, bytes=total_bytes, by_kind=by_kind,
-                          quarantined=len(self._quarantined()))
+                          quarantined=len(self._quarantined()), tmp_swept=swept)
 
     def clear(self) -> int:
         """Delete every entry (quarantined included); returns how many."""

@@ -135,9 +135,10 @@ class RunEntry:
         return "\n".join(lines)
 
 
-def _new_run_id() -> str:
+def _new_run_id(sequence: int = 0) -> str:
     stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
-    return f"{stamp}-{os.getpid()}-{os.urandom(3).hex()}"
+    base = f"{stamp}-{os.getpid()}-{os.urandom(3).hex()}"
+    return base if sequence == 0 else f"{base}-{sequence}"
 
 
 class RunRegistry:
@@ -159,6 +160,35 @@ class RunRegistry:
         return self.root / f"{run_id}.json"
 
     # -- writing -------------------------------------------------------
+    def _reserve_run_id(self) -> Tuple[str, Path]:
+        """Atomically allocate a run id nobody else holds.
+
+        Creating the entry file with ``O_CREAT | O_EXCL`` is the
+        allocation: the filesystem arbitrates between concurrent
+        writers (the serve daemon records one entry per request, many
+        in the same second from the same pid), so two racing
+        ``append()`` calls can never agree on a name and overwrite
+        each other.  Collisions retry with a sequence suffix.
+        """
+        for sequence in range(64):
+            run_id = _new_run_id(sequence)
+            path = self.path_for(run_id)
+            try:
+                handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError as error:
+                raise CacheError(
+                    f"cannot reserve run entry {run_id}: {error}",
+                    code="registry.write_failed", path=str(path),
+                ) from error
+            os.close(handle)
+            return run_id, path
+        raise CacheError(
+            "could not allocate a unique run id after 64 attempts",
+            code="registry.write_failed", path=str(self.root),
+        )
+
     def append(self, command: str,
                argv: Optional[Sequence[str]] = None,
                exit_code: Optional[int] = None,
@@ -168,8 +198,9 @@ class RunRegistry:
                plans: Optional[Sequence[Dict[str, str]]] = None,
                hotspot: Optional[Dict[str, Any]] = None) -> RunEntry:
         """Record one invocation; returns the written entry."""
+        run_id, path = self._reserve_run_id()
         entry = RunEntry(
-            run_id=_new_run_id(),
+            run_id=run_id,
             command=command,
             argv=list(argv or []),
             exit_code=exit_code,
@@ -180,17 +211,19 @@ class RunRegistry:
             plans=list(plans or []),
             hotspot=hotspot,
         )
-        path = self.path_for(entry.run_id)
+        # The reservation holds the name; content still lands through
+        # tmp + replace so a reader never observes a torn entry.
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             tmp.write_text(json.dumps(entry.to_dict(), sort_keys=True),
                            encoding="utf-8")
             os.replace(tmp, path)
         except OSError as error:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+            for leftover in (tmp, path):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
             raise CacheError(
                 f"failed to record run {entry.run_id}: {error}",
                 code="registry.write_failed",

@@ -1,0 +1,151 @@
+"""A raw-socket client for the daemon (and for abusing it in drills).
+
+Deliberately *not* ``http.client``: the drill needs byte-level control
+— dribbling a request out slowly to trigger the 408 shed, pinning a
+client identity, setting per-request deadlines — and the responses need
+to come back as exact byte strings so bitwise comparisons are honest.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.serve.protocol import split_response
+
+
+@dataclass
+class ClientResponse:
+    """One response: status, lower-cased headers, exact body text."""
+
+    status: int
+    headers: Dict[str, str]
+    body: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    def json(self) -> Dict[str, Any]:
+        return json.loads(self.body)
+
+    @property
+    def data(self) -> Any:
+        return self.json().get("data")
+
+    @property
+    def error_code(self) -> str:
+        error = self.json().get("error") or {}
+        return str(error.get("code", ""))
+
+
+def read_port_file(path: Union[str, Path], timeout_s: float = 15.0) -> int:
+    """Poll a daemon's port file until it appears (startup handshake)."""
+    deadline = time.monotonic() + timeout_s
+    path = Path(path)
+    while time.monotonic() < deadline:
+        try:
+            text = path.read_text(encoding="utf-8").strip()
+        except OSError:
+            text = ""
+        if text:
+            try:
+                return int(text)
+            except ValueError:
+                pass
+        time.sleep(0.05)
+    raise ConfigError(f"no port appeared in {path} within {timeout_s:g}s",
+                      code="serve.no_port_file",
+                      hint="is the daemon running with --port-file?")
+
+
+class ServeClient:
+    """Blocking one-request-per-connection client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 client_id: Optional[str] = None,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None,
+                deadline_s: Optional[float] = None,
+                slow_chunk: Optional[int] = None,
+                slow_delay_s: float = 0.0,
+                timeout_s: Optional[float] = None) -> ClientResponse:
+        """One HTTP exchange; ``slow_chunk`` dribbles the request bytes.
+
+        ``slow_chunk=1, slow_delay_s=0.5`` writes one byte every half
+        second — the misbehaving client the daemon's read timeouts exist
+        to shed.
+        """
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Connection: close",
+        ]
+        if payload:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(payload)}")
+        if self.client_id:
+            lines.append(f"X-Client: {self.client_id}")
+        if deadline_s is not None:
+            lines.append(f"X-Deadline-S: {deadline_s:g}")
+        raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+        with socket.create_connection(
+                (self.host, self.port),
+                timeout=timeout_s if timeout_s is not None else self.timeout_s
+        ) as sock:
+            if slow_chunk is None:
+                sock.sendall(raw)
+            else:
+                for offset in range(0, len(raw), slow_chunk):
+                    try:
+                        sock.sendall(raw[offset:offset + slow_chunk])
+                    except OSError:
+                        break  # server already gave up on us; read the shed
+                    # The inter-chunk delay doubles as a poll: once the
+                    # server sheds (e.g. a 408) its response is readable
+                    # and continuing to write would only race the reset.
+                    readable, _, _ = select.select([sock], [], [], slow_delay_s)
+                    if readable:
+                        break
+            chunks = []
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        status, headers, text = split_response(b"".join(chunks))
+        return ClientResponse(status=status, headers=headers, body=text)
+
+    # -- convenience verbs ---------------------------------------------
+    def health(self) -> ClientResponse:
+        return self.request("GET", "/health")
+
+    def stats(self) -> ClientResponse:
+        return self.request("GET", "/stats")
+
+    def post(self, endpoint: str, params: Optional[Dict[str, Any]] = None,
+             **kwargs: Any) -> ClientResponse:
+        return self.request("POST", f"/v1/{endpoint}", body=params or {},
+                            **kwargs)
+
+
+__all__ = ["ClientResponse", "ServeClient", "read_port_file"]

@@ -1,0 +1,56 @@
+"""Single-flight coalescing of identical in-flight requests.
+
+Two clients asking for the same content-hashed computation at the same
+time should cost one computation: the first request becomes the
+*leader* and owns the work; every identical request arriving before it
+finishes becomes a *follower* sharing the same future.  Because bodies
+are deterministic (:mod:`repro.serve.protocol`), followers receive the
+byte-identical response the leader does.
+
+The table lives on the event loop, so no locks: leaders register and
+unregister via loop-side calls only.  Followers must ``shield`` the
+shared future before applying their own deadline — a follower timing
+out must never cancel the leader's computation out from under the
+other waiters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple
+
+
+class SingleFlight:
+    """The in-flight table: content key → (future, waiter count)."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.coalesced_total = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def join(self, key: str) -> Tuple[asyncio.Future, bool]:
+        """(shared future, is_leader) for ``key``.
+
+        The leader must eventually resolve the future (result or
+        exception) and then call :meth:`forget` — in a ``finally``, so a
+        crashed handler cannot strand followers on a forever-pending
+        future.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced_total += 1
+            return existing, False
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return future, True
+
+    def forget(self, key: str) -> None:
+        """Drop ``key`` from the table (leader's cleanup duty).
+
+        Late-arriving identical requests after this point start a fresh
+        computation — correct, since the result is now in the cache and
+        the new leader will serve a warm hit.
+        """
+        self._inflight.pop(key, None)

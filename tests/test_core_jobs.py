@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 
 import pytest
 
@@ -148,6 +149,44 @@ def test_cache_stats_and_clear(tmp_path):
     assert stats.by_kind == {"simulate": 1, "estimate": 1}
     assert cache.clear() == 2
     assert cache.stats().entries == 0
+
+
+def test_sweep_removes_tmp_files_of_dead_processes(tmp_path):
+    """A SIGKILLed writer's tmp file is cleaned up by any later process."""
+    import os
+
+    cache = ResultCache(tmp_path / "c")
+    cache.put("11" * 32, {"a": 1})
+    bucket = cache._path("11" * 32).parent
+    # PID 1 is never us; a pid far beyond pid_max never exists.
+    dead = bucket / f"{'aa' * 32}.tmp.99999999"
+    dead.write_text("{torn")
+    live = bucket / f"{'bb' * 32}.tmp.{os.getpid()}"
+    live.write_text("{in progress")
+    assert cache.sweep_orphan_tmp() == 1
+    assert not dead.exists()
+    assert live.exists()  # a live writer's file is never touched young
+    # A live pid's tmp file older than the age cap is an orphan too
+    # (the writer moved on long ago; replace() would have consumed it).
+    old = time.time() - 7200
+    os.utime(live, (old, old))
+    assert cache.sweep_orphan_tmp(max_age_s=3600.0) == 1
+    assert not live.exists()
+
+
+def test_sweep_runs_on_startup_and_reports_in_stats(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put("11" * 32, {"a": 1})
+    orphan = cache._path("11" * 32).parent / f"{'cc' * 32}.tmp.99999999"
+    orphan.write_text("{torn")
+    # A fresh handle on the same directory sweeps the orphan on init.
+    reopened = ResultCache(tmp_path / "c")
+    assert not orphan.exists()
+    orphan.write_text("{torn again")
+    stats = reopened.stats()
+    assert stats.tmp_swept == 1
+    assert not orphan.exists()
+    assert stats.entries == 1  # real entries are untouched
 
 
 # -- the runner ------------------------------------------------------------

@@ -160,6 +160,59 @@ def test_record_invocation_consumes_staged(tmp_path):
     assert regmod.take_staged() == {}  # drained
 
 
+def test_append_retries_past_reserved_names(registry, monkeypatch):
+    """A name collision is survived, not overwritten: the reservation
+    (O_CREAT|O_EXCL on the final path) forces a sequence-suffixed id."""
+    first = registry.append("estimate", exit_code=0)
+    # Freeze the id generator's entropy so the next append collides with
+    # the entry already on disk until the sequence suffix kicks in.
+    base = first.run_id
+    monkeypatch.setattr(
+        regmod, "_new_run_id",
+        lambda sequence=0: base if sequence == 0 else f"{base}-{sequence}")
+    second = registry.append("estimate", exit_code=0)
+    assert second.run_id == f"{base}-1"
+    entries, corrupt = registry.entries()
+    assert corrupt == 0
+    assert {e.run_id for e in entries} == {base, f"{base}-1"}
+
+
+def test_concurrent_writers_never_lose_or_tear_entries(tmp_path):
+    """Two processes racing record_invocation: 2N entries, zero corrupt."""
+    import subprocess
+    import sys
+
+    runs = tmp_path / "runs"
+    writes_per_process = 12
+    script = (
+        "import sys\n"
+        "from repro.obs.registry import record_invocation\n"
+        "for i in range(%d):\n"
+        "    entry = record_invocation('simulate', ['simulate', sys.argv[1],"
+        " str(i)], 0, 0.01, runs_dir=%r)\n"
+        "    assert entry is not None\n" % (writes_per_process, str(runs))
+    )
+    processes = [
+        subprocess.Popen([sys.executable, "-c", script, name],
+                         env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                         cwd="/root/repo", stderr=subprocess.PIPE)
+        for name in ("alpha", "beta")
+    ]
+    for process in processes:
+        _, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr.decode()
+
+    entries, corrupt = RunRegistry(runs).entries()
+    assert corrupt == 0
+    assert len(entries) == 2 * writes_per_process
+    assert len({e.run_id for e in entries}) == 2 * writes_per_process
+    by_writer = {name: sum(1 for e in entries if e.argv[1] == name)
+                 for name in ("alpha", "beta")}
+    assert by_writer == {"alpha": writes_per_process,
+                         "beta": writes_per_process}
+    assert not list(runs.glob("*.tmp.*"))  # no stragglers either
+
+
 # -- CLI integration -------------------------------------------------------
 
 def test_cli_invocations_are_recorded(tmp_path, capsys):

@@ -109,6 +109,31 @@ def test_retry_policy_backoff_is_bounded():
     assert NO_RETRY.delay_s(1) == 0.0
 
 
+def test_retry_policy_jitter_is_seeded_rng_deterministic():
+    """Backoff draws from the module RNG: seeding it pins the schedule."""
+    import random
+
+    policy = RetryPolicy(max_retries=4, base_delay_s=0.1, max_delay_s=2.0,
+                         jitter=0.25)
+    random.seed(1234)
+    first = [policy.delay_s(n) for n in range(1, 5)]
+    random.seed(1234)
+    second = [policy.delay_s(n) for n in range(1, 5)]
+    assert first == second  # bit-for-bit, not approx
+    # And every draw respects the jitter envelope around pure backoff.
+    for failures, delay in enumerate(first, start=1):
+        base = min(2.0, 0.1 * (2 ** (failures - 1)))
+        assert base <= delay <= base * 1.25
+
+
+def test_retry_policy_zero_jitter_is_pure_exponential():
+    policy = RetryPolicy(max_retries=6, base_delay_s=0.05, max_delay_s=0.4,
+                         jitter=0.0)
+    assert [policy.delay_s(n) for n in range(1, 6)] == \
+        [0.05, 0.1, 0.2, 0.4, 0.4]
+    assert policy.delay_s(0) == 0.0
+
+
 def test_retry_policy_validation():
     with pytest.raises(ConfigError):
         RetryPolicy(max_retries=-1)
@@ -192,6 +217,27 @@ def test_pool_dying_twice_degrades_to_serial(tmp_path, tasks, clean):
     assert runner.stats.degraded == 1
     assert runner.stats.pool_restarts == 2
     assert "[degraded to serial]" in runner.stats.describe()
+
+
+def test_degrade_counters_transition_in_order(tmp_path, tasks, clean,
+                                              obs_enabled):
+    """The ladder is restart → restart → degrade, and the counters say so."""
+    chaos = ChaosInjector(tmp_path / "chaos",
+                          {ANY_TASK: FaultSpec("sigkill", times=3)})
+    runner = JobRunner(jobs=2, chaos=chaos, retry=FAST_RETRY)
+    assert runner.run(tasks) == clean
+    counters = obs_enabled.metrics().snapshot()["counters"]
+    assert counters.get("jobs.pool_restarts") == 2
+    assert counters.get("jobs.degraded") == 1
+    # A single kill only restarts: no degrade counter appears.
+    obs_enabled.reset()
+    chaos_single = ChaosInjector(tmp_path / "chaos-single",
+                                 {ANY_TASK: FaultSpec("sigkill", times=1)})
+    healthy = JobRunner(jobs=2, chaos=chaos_single, retry=FAST_RETRY)
+    assert healthy.run(tasks) == clean
+    counters = obs_enabled.metrics().snapshot()["counters"]
+    assert counters.get("jobs.pool_restarts") == 1
+    assert "jobs.degraded" not in counters
 
 
 # -- chaos: hangs and per-task timeouts -----------------------------------
