@@ -1,0 +1,54 @@
+"""Memory-technology study: where should the weights live?
+
+The paper feeds SuperNPU from room-temperature DRAM, so off-chip
+accesses are slow but their heat is rejected for free at 300 K.  The
+component registry lets us re-run the Fig. 21 resource-balancing sweep
+with the memory moved down the cryostat: LN2-stage DRAM behind a
+4K-to-77K link, and chip-stage cryoCMOS SRAM fed by chip-to-chip PTLs.
+Colder memory is faster and cheaper per access — but every joule it
+dissipates is multiplied by its stage's cooling factor (400x at 4.2 K,
+12x at 77 K, 1x at ambient), so the throughput winner and the
+wall-power winner diverge.
+
+Run:  python examples/memory_technology_study.py
+"""
+
+from collections import defaultdict
+
+from repro.components.study import memory_technology_study
+
+
+def main() -> None:
+    points = memory_technology_study()
+
+    print(f"{'memory':>14s} {'link':>14s} {'width':>5s} {'batch':>5s} "
+          f"{'TMAC/s':>8s} {'chip W':>9s} {'wall W':>10s} "
+          f"{'GMAC/J wall':>12s}")
+    by_technology = defaultdict(list)
+    for p in points:
+        by_technology[p.memory_technology].append(p)
+        print(f"{p.memory_technology:>14s} {p.link_technology:>14s} "
+              f"{p.width:5d} {p.batch:5d} {p.mac_per_s / 1e12:8.1f} "
+              f"{p.dissipated_w:9.1f} {p.wall_power_w:10.0f} "
+              f"{p.mac_per_joule_wall / 1e9:12.2f}")
+
+    fastest = max(points, key=lambda p: p.mac_per_s)
+    frugal = max(points, key=lambda p: p.mac_per_joule_wall)
+    print(f"\nThroughput winner: {fastest.memory_technology} at width "
+          f"{fastest.width} ({fastest.mac_per_s / 1e12:.1f} TMAC/s) — "
+          f"cold memory removes the off-chip bandwidth wall.")
+    print(f"Wall-efficiency winner: {frugal.memory_technology} at width "
+          f"{frugal.width} ({frugal.mac_per_joule_wall / 1e9:.2f} GMAC/J) "
+          f"— per-stage cooling factors decide, not access energy alone.")
+    for technology, rows in sorted(by_technology.items()):
+        stages = defaultdict(float)
+        for p in rows:
+            for stage, watts in p.dissipation_by_stage_w.items():
+                stages[stage] += watts / len(rows)
+        split = ", ".join(f"{watts:.1f} W @ {stage:g} K"
+                          for stage, watts in sorted(stages.items()))
+        print(f"  {technology}: mean dissipation {split}")
+
+
+if __name__ == "__main__":
+    main()

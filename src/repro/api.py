@@ -43,6 +43,13 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.baselines.scalesim import TPU_CORE, CMOSNPUConfig
+from repro.components import (
+    ComponentEstimator,
+    CrossTemperatureReport,
+    all_components,
+    component_by_name,
+    cross_temperature_report,
+)
 from repro.core.ablate import AblationRow, ablation_study
 from repro.core.batching import batch_for
 from repro.core.compare import ComparisonColumn, compare as _compare
@@ -94,6 +101,9 @@ __all__ = [
     "design",
     "workload",
     "library",
+    "component",
+    "components",
+    "cross_temperature",
     "estimate",
     "simulate",
     "evaluate",
@@ -104,6 +114,8 @@ __all__ = [
     "plan",
     "run_plan",
     "serve",
+    "ComponentEstimator",
+    "CrossTemperatureReport",
     "EvaluatedGrid",
     "ExperimentPlan",
     "GridEvaluation",
@@ -179,6 +191,26 @@ def library(technology: TechnologyLike = "rsfq") -> CellLibrary:
         "expected 'rsfq' / 'ersfq', a Technology, or a CellLibrary",
         got=type(technology).__name__,
     )
+
+
+def component(name: str, kind: Optional[str] = None) -> ComponentEstimator:
+    """Look up a registered component estimator by name.
+
+    ``kind`` optionally restricts the lookup (``"memory"`` / ``"link"``);
+    unknown names raise a :class:`ConfigError` listing the registry.
+    """
+    return component_by_name(name, kind=kind)
+
+
+def components(kind: Optional[str] = None) -> List[ComponentEstimator]:
+    """Every registered component, in registration order."""
+    return all_components(kind=kind)
+
+
+def cross_temperature(run: SimulationResult,
+                      estimate_result: NPUEstimate) -> CrossTemperatureReport:
+    """Per-stage dissipation + ladder-charged wall power of one run."""
+    return cross_temperature_report(run, estimate_result)
 
 
 @dataclass(frozen=True)

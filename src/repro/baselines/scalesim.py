@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.simulator.memory import MemoryModel
+from repro.simulator.memory import memory_model_for
 from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
 from repro.workloads.layers import ConvLayer
 from repro.workloads.models import Network
@@ -89,7 +89,7 @@ def simulate_cmos(
     so downstream comparisons treat both NPUs uniformly."""
     if batch < 1:
         raise ValueError("batch must be positive")
-    memory = MemoryModel(config.memory_bandwidth_gbps, config.frequency_ghz)
+    memory = memory_model_for(config, config.frequency_ghz)
     layers = []
     resident = False
     for index, layer in enumerate(network.layers):

@@ -179,8 +179,19 @@ def _resolve_design(args: argparse.Namespace):
     from repro import api
 
     if getattr(args, "config_file", None):
-        return api.design(args.config_file)
-    return api.design(args.design)
+        config = api.design(args.config_file)
+    else:
+        config = api.design(args.design)
+    # Component-technology overrides (commands with the flags only);
+    # with_updates re-validates the names against the registry.
+    overrides = {}
+    if getattr(args, "memory_technology", None):
+        overrides["memory_technology"] = args.memory_technology
+    if getattr(args, "link_technology", None):
+        overrides["link_technology"] = args.link_technology
+    if overrides:
+        config = config.with_updates(**overrides)
+    return config
 
 
 @contextmanager
@@ -979,6 +990,63 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_components(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.errors import ConfigError
+
+    if args.action == "list":
+        registered = api.components(kind=args.kind)
+        if args.json:
+            _print_envelope(
+                "components",
+                {"components": [component.to_dict() for component in registered]},
+                action="list")
+            return 0
+        widths = [16, 8, 8, 10]
+        print(_fmt_row(["component", "kind", "stage", "GB/s"], widths)
+              + "  description")
+        for component in registered:
+            bandwidth = ("inherit" if component.bandwidth_gbps is None
+                         else f"{component.bandwidth_gbps:g}")
+            print(_fmt_row([component.name, component.kind,
+                            f"{component.stage_k:g}K", bandwidth], widths)
+                  + f"  {component.description}")
+        return 0
+
+    # show
+    if not args.name:
+        raise ConfigError(
+            "'components show' needs a component name",
+            code="components.missing_name",
+            hint="known components: "
+                 + ", ".join(c.name for c in api.components()),
+        )
+    component = api.component(args.name)
+    if args.json:
+        _print_envelope("components", component.to_dict(), action="show",
+                        component=component.name)
+        return 0
+    print(f"component   : {component.name} ({component.kind})")
+    print(f"stage       : {component.stage_k:g} K")
+    bandwidth = ("inherit (design memory_bandwidth_gbps)"
+                 if component.bandwidth_gbps is None
+                 else f"{component.bandwidth_gbps:g} GB/s")
+    print(f"bandwidth   : {bandwidth}")
+    for action in ("read", "write", "transfer", "idle"):
+        if action in component.action_energy_pj_per_byte:
+            print(f"  {action:9s}: "
+                  f"{component.action_energy_pj_per_byte[action]:g} pJ/B")
+    if component.area_mm2_per_mib:
+        print(f"area        : {component.area_mm2_per_mib:g} mm^2/MiB")
+    if component.idle_power_w:
+        print(f"idle power  : {component.idle_power_w:g} W")
+    if component.description:
+        print(f"description : {component.description}")
+    if component.citation:
+        print(f"citation    : {component.citation}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.core.jobs import ResultCache
 
@@ -1339,6 +1407,16 @@ def _add_hotspot_flags(parser: argparse.ArgumentParser) -> None:
                              "(default 97, prime to dodge periodic aliasing)")
 
 
+def _add_component_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--memory-technology", metavar="NAME", default=None,
+                        help="registered memory component to charge off-chip "
+                             "traffic to (see 'components list'; default: "
+                             "the design's own, normally dram-300k)")
+    parser.add_argument("--link-technology", metavar="NAME", default=None,
+                        help="registered link component carrying that "
+                             "traffic (default: 4k-300k-link)")
+
+
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true",
                         help="emit one machine-readable JSON envelope "
@@ -1364,6 +1442,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("design", nargs="?", default="supernpu")
     p_est.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
     p_est.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    _add_component_flags(p_est)
     _add_json_flag(p_est)
     p_est.set_defaults(func=cmd_estimate)
 
@@ -1373,6 +1452,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--batch", type=int, default=None)
     p_sim.add_argument("--technology", choices=["rsfq", "ersfq"], default="rsfq")
     p_sim.add_argument("--config-file", help="JSON NPUConfig instead of a named design")
+    _add_component_flags(p_sim)
     _add_obs_flags(p_sim)
     _add_jobs_flags(p_sim)
     _add_hotspot_flags(p_sim)
@@ -1500,6 +1580,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hotspot_flags(p_plan)
     _add_json_flag(p_plan)
     p_plan.set_defaults(func=cmd_plan)
+
+    p_comp = sub.add_parser(
+        "components",
+        help="inspect the registered component estimators "
+             "(memory / link technologies)",
+    )
+    p_comp.add_argument("action", choices=["list", "show"],
+                        help="list the registry or show one component's "
+                             "energies, stage, and bandwidth")
+    p_comp.add_argument("name", nargs="?", default=None,
+                        help="a registered component name (see 'components list')")
+    p_comp.add_argument("--kind", choices=["memory", "link"], default=None,
+                        help="restrict the listing to one component kind")
+    _add_json_flag(p_comp)
+    p_comp.set_defaults(func=cmd_components)
 
     p_cache = sub.add_parser("cache", help="inspect or empty a result cache")
     p_cache.add_argument("action", choices=["stats", "clear"])

@@ -1,0 +1,52 @@
+"""Pluggable component-estimator registry (see ``components.base``).
+
+Importing this package registers the built-in memory and link models;
+``repro.components.study`` (the memory-technology resource-balancing
+plan) is imported lazily by the plan registry, like other builders.
+"""
+
+from repro.components.base import (
+    ACTIONS,
+    DEFAULT_LINK_TECHNOLOGY,
+    DEFAULT_MEMORY_TECHNOLOGY,
+    KINDS,
+    STAGE_4K,
+    STAGE_77K,
+    STAGE_300K,
+    TEMPERATURE_STAGES,
+    ComponentEstimator,
+    all_components,
+    component_by_name,
+    component_names,
+    register,
+    unregister,
+)
+from repro.components.energy import CrossTemperatureReport, cross_temperature_report
+from repro.components.links import CHIP2CHIP_PTL, LINK_4K_77K, LINK_4K_300K
+from repro.components.memory import CRYO_SRAM_4K, DRAM_77K, DRAM_300K, VTCELL_RAM_4K
+
+__all__ = [
+    "ACTIONS",
+    "CHIP2CHIP_PTL",
+    "CRYO_SRAM_4K",
+    "ComponentEstimator",
+    "CrossTemperatureReport",
+    "DEFAULT_LINK_TECHNOLOGY",
+    "DEFAULT_MEMORY_TECHNOLOGY",
+    "DRAM_300K",
+    "DRAM_77K",
+    "KINDS",
+    "LINK_4K_300K",
+    "LINK_4K_77K",
+    "STAGE_300K",
+    "STAGE_4K",
+    "STAGE_77K",
+    "TEMPERATURE_STAGES",
+    "VTCELL_RAM_4K",
+    "all_components",
+    "component_by_name",
+    "component_names",
+    "cross_temperature_report",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,218 @@
+"""The component-estimator registry (Accelergy-style plug-ins).
+
+The paper's resource-balancing and cooling studies (Sections VI-B/C) fix
+one memory/interconnect technology per design; this registry makes those
+choices pluggable.  Every off-chip technology — a DRAM stack, a cryoCMOS
+SRAM, an inter-temperature link, a chip-to-chip transfer lane, and later
+a spiking neuron cell — is one registered :class:`ComponentEstimator`
+declaring:
+
+* a **kind** (``"memory"`` or ``"link"`` today);
+* a **temperature stage** (4.2 K / 77 K / 300 K) where its dissipation
+  lands, so the cooling ladder can charge each joule at the wall-power
+  multiplier of its own stage;
+* **per-action energies** (``read`` / ``write`` / ``transfer`` / ``idle``)
+  in pJ per byte moved;
+* an optional **bandwidth** (GB/s) — ``None`` means "inherit the design's
+  :attr:`~repro.uarch.config.NPUConfig.memory_bandwidth_gbps`", which is
+  how the default components reproduce the paper's numbers bitwise;
+* area per MiB of capacity, for memory components.
+
+Designs select technologies by name through the
+``memory_technology`` / ``link_technology`` fields of
+:class:`~repro.uarch.config.NPUConfig`; the simulator resolves them via
+:func:`repro.simulator.memory.memory_model_for` and the estimator via
+:meth:`repro.estimator.arch_level.NPUEstimate.components`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ConfigError
+
+#: Actions a component may declare energy for (pJ per byte moved;
+#: ``idle`` is accounted separately as watts, see ``idle_power_w``).
+ACTIONS = ("read", "write", "transfer", "idle")
+
+#: Component kinds understood by the framework today.
+KINDS = ("memory", "link")
+
+#: The canonical temperature stages of a superconducting system (kelvin):
+#: the 4.2 K chip stage, the 77 K intermediate (liquid-nitrogen) stage,
+#: and room temperature.
+STAGE_4K = 4.2
+STAGE_77K = 77.0
+STAGE_300K = 300.0
+TEMPERATURE_STAGES = (STAGE_4K, STAGE_77K, STAGE_300K)
+
+#: Technology names a default-constructed ``NPUConfig`` resolves to.
+#: These components reproduce the paper's fixed assumptions exactly.
+DEFAULT_MEMORY_TECHNOLOGY = "dram-300k"
+DEFAULT_LINK_TECHNOLOGY = "4k-300k-link"
+
+
+@dataclass(frozen=True)
+class ComponentEstimator:
+    """One registered technology: per-action energy, area, stage.
+
+    Attributes:
+        name: Registry name (``"dram-300k"``, ``"cryo-sram-4k"``, ...).
+        kind: One of :data:`KINDS`.
+        stage_k: Temperature stage (one of :data:`TEMPERATURE_STAGES`)
+            where this component's dissipation is charged by the
+            cooling ladder.
+        action_energy_pj_per_byte: Energy per byte moved, by action name
+            (a subset of :data:`ACTIONS`); undeclared actions cost zero.
+        bandwidth_gbps: Sustained bandwidth, or ``None`` to inherit the
+            design's configured DRAM bandwidth (the back-compatible
+            default-technology behaviour).
+        area_mm2_per_mib: Layout area per MiB of capacity (memory kinds).
+        idle_power_w: Static dissipation at ``stage_k`` while powered.
+        description: One-line summary for ``supernpu components list``.
+        citation: Where the numbers come from.
+    """
+
+    name: str
+    kind: str
+    stage_k: float
+    action_energy_pj_per_byte: Mapping[str, float] = field(default_factory=dict)
+    bandwidth_gbps: Optional[float] = None
+    area_mm2_per_mib: float = 0.0
+    idle_power_w: float = 0.0
+    description: str = ""
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a component needs a name",
+                              code="components.missing_name")
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown component kind {self.kind!r}; known: {list(KINDS)}",
+                code="components.unknown_kind", component=self.name)
+        if self.stage_k not in TEMPERATURE_STAGES:
+            raise ConfigError(
+                f"component {self.name!r} declares stage {self.stage_k} K; "
+                f"stages: {list(TEMPERATURE_STAGES)}",
+                code="components.unknown_stage", component=self.name,
+                stage_k=self.stage_k)
+        for action, energy in self.action_energy_pj_per_byte.items():
+            if action not in ACTIONS:
+                raise ConfigError(
+                    f"component {self.name!r} declares unknown action "
+                    f"{action!r}; actions: {list(ACTIONS)}",
+                    code="components.unknown_action", component=self.name,
+                    action=action)
+            if energy < 0:
+                raise ConfigError(
+                    f"component {self.name!r} declares negative {action} "
+                    "energy", code="components.invalid_energy",
+                    component=self.name, action=action, energy=energy)
+        if self.bandwidth_gbps is not None and self.bandwidth_gbps <= 0:
+            raise ConfigError(
+                f"component {self.name!r} declares non-positive bandwidth",
+                code="components.invalid_bandwidth", component=self.name,
+                bandwidth_gbps=self.bandwidth_gbps)
+        if self.area_mm2_per_mib < 0 or self.idle_power_w < 0:
+            raise ConfigError(
+                f"component {self.name!r} declares negative area or idle power",
+                code="components.invalid_value", component=self.name)
+
+    def action_energy_j(self, action: str, num_bytes: float = 1.0) -> float:
+        """Joules to perform ``action`` on ``num_bytes`` bytes.
+
+        Actions the component does not declare cost zero (a link has no
+        ``read``); action names outside :data:`ACTIONS` are a
+        :class:`ConfigError`.
+        """
+        if action not in ACTIONS:
+            raise ConfigError(
+                f"unknown component action {action!r}; actions: {list(ACTIONS)}",
+                code="components.unknown_action", component=self.name,
+                action=action)
+        if num_bytes < 0:
+            raise ConfigError("byte count must be non-negative",
+                              code="components.invalid_bytes",
+                              component=self.name, num_bytes=num_bytes)
+        return self.action_energy_pj_per_byte.get(action, 0.0) * 1e-12 * num_bytes
+
+    def area_mm2(self, capacity_bytes: float) -> float:
+        """Layout area for ``capacity_bytes`` of this memory technology."""
+        return self.area_mm2_per_mib * capacity_bytes / (1024 * 1024)
+
+    def resolved_bandwidth_gbps(self, default_gbps: float) -> float:
+        """This component's bandwidth, or the design's when inherited."""
+        if self.bandwidth_gbps is None:
+            return default_gbps
+        return self.bandwidth_gbps
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record (``supernpu components show``)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "stage_k": self.stage_k,
+            "action_energy_pj_per_byte": dict(self.action_energy_pj_per_byte),
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "area_mm2_per_mib": self.area_mm2_per_mib,
+            "idle_power_w": self.idle_power_w,
+            "description": self.description,
+            "citation": self.citation,
+        }
+
+
+# -- the registry ----------------------------------------------------------
+
+_REGISTRY: Dict[str, ComponentEstimator] = {}
+
+
+def register(component: ComponentEstimator) -> ComponentEstimator:
+    """Add a component to the registry; the name must be unused.
+
+    Returns the component so module-level registration can double as the
+    canonical constant: ``DRAM_300K = register(ComponentEstimator(...))``.
+    """
+    if component.name in _REGISTRY:
+        raise ConfigError(
+            f"component {component.name!r} is already registered",
+            code="components.duplicate", component=component.name)
+    _REGISTRY[component.name] = component
+    return component
+
+
+def unregister(name: str) -> None:
+    """Remove a component (tests registering throwaway technologies)."""
+    _REGISTRY.pop(name, None)
+
+
+def component_names(kind: Optional[str] = None) -> List[str]:
+    """Registered names in registration order, optionally one kind only."""
+    return [name for name, component in _REGISTRY.items()
+            if kind is None or component.kind == kind]
+
+
+def all_components(kind: Optional[str] = None) -> List[ComponentEstimator]:
+    """Registered components in registration order."""
+    return [component for component in _REGISTRY.values()
+            if kind is None or component.kind == kind]
+
+
+def component_by_name(name: str, kind: Optional[str] = None) -> ComponentEstimator:
+    """Look a component up by name (and optionally check its kind)."""
+    component = _REGISTRY.get(name)
+    if component is None:
+        raise ConfigError(
+            f"unknown component {name!r}",
+            code="components.unknown",
+            hint="known components: " + ", ".join(component_names(kind)),
+            name=name)
+    if kind is not None and component.kind != kind:
+        raise ConfigError(
+            f"component {name!r} is a {component.kind}, not a {kind}",
+            code="components.wrong_kind",
+            hint=f"known {kind} components: "
+                 + ", ".join(component_names(kind)),
+            name=name, kind=component.kind, expected=kind)
+    return component

@@ -1,0 +1,92 @@
+"""Built-in memory component models.
+
+Three technologies spanning the three temperature stages, after the
+``camronblackburn/superloop`` Accelergy plug-in library (VT-cell RAM,
+delay-line memory, cryoCMOS SRAM) and the cryogenic-DRAM literature:
+
+* ``dram-300k`` — the paper's assumption: a room-temperature DDR stack
+  behind the 4K-to-300K link.  It inherits the design's configured
+  bandwidth so a default-technology run reproduces today's numbers
+  bitwise.
+* ``dram-77k`` — DRAM operated at the liquid-nitrogen stage.  Retention
+  improves by orders of magnitude at 77 K so refresh essentially
+  disappears and access energy roughly halves, but each joule is now
+  multiplied by the 77 K cooling factor.
+* ``cryo-sram-4k`` — cryoCMOS SRAM co-located with the chip at 4.2 K.
+  Per-access energy is tiny and bandwidth is chip-like, but the 400x
+  wall-power multiplier applies to every joule.
+* ``vtcell-ram-4k`` — Josephson-junction VT-cell RAM at 4.2 K: the
+  cheapest energy per byte of all, at very low density (large area).
+
+Energy figures are per *byte* moved; the estimator's on-chip buffer
+energies remain the domain of ``repro.estimator`` — these components
+model the off-chip side the paper fixes in Section VI.
+"""
+
+from __future__ import annotations
+
+from repro.components.base import (
+    STAGE_4K,
+    STAGE_77K,
+    STAGE_300K,
+    ComponentEstimator,
+    register,
+)
+
+#: The paper's memory system: room-temperature DRAM. ~31 pJ/byte is a
+#: DDR4-class access+IO figure (3.9 pJ/bit); bandwidth is inherited from
+#: the design's ``memory_bandwidth_gbps`` (None) so defaults reproduce
+#: the paper's 300 GB/s assumption exactly.
+DRAM_300K = register(ComponentEstimator(
+    name="dram-300k",
+    kind="memory",
+    stage_k=STAGE_300K,
+    action_energy_pj_per_byte={"read": 31.0, "write": 31.0},
+    bandwidth_gbps=None,
+    area_mm2_per_mib=0.11,
+    description="Room-temperature DDR DRAM (the paper's assumption)",
+    citation="SuperNPU (MICRO 2020), Sec. VI; DDR4 ~3.9 pJ/bit access+IO",
+))
+
+#: DRAM at the 77 K stage: retention time grows by orders of magnitude
+#: at LN2 temperatures, so refresh power vanishes and array energy
+#: roughly halves; dissipation is charged at the 77 K ladder stage.
+DRAM_77K = register(ComponentEstimator(
+    name="dram-77k",
+    kind="memory",
+    stage_k=STAGE_77K,
+    action_energy_pj_per_byte={"read": 16.0, "write": 16.0},
+    bandwidth_gbps=600.0,
+    area_mm2_per_mib=0.11,
+    description="LN2-stage DRAM: near-zero refresh, ~2x access energy win",
+    citation="Ware et al., 'Do Superconducting Processors Really Need "
+             "Cryogenic Memories?' (MEMSYS 2017)",
+))
+
+#: CryoCMOS SRAM co-located at the 4.2 K stage: sub-pJ/bit access and
+#: chip-like bandwidth, but every joule pays the 4 K cooling factor.
+CRYO_SRAM_4K = register(ComponentEstimator(
+    name="cryo-sram-4k",
+    kind="memory",
+    stage_k=STAGE_4K,
+    action_energy_pj_per_byte={"read": 1.2, "write": 1.4},
+    bandwidth_gbps=1100.0,
+    area_mm2_per_mib=1.6,
+    description="cryoCMOS SRAM at the chip stage (superloop plug-in)",
+    citation="camronblackburn/superloop cryoCMOS plug-in; Tannu et al., "
+             "'Cryogenic-DRAM based memory system' (MEMSYS 2017)",
+))
+
+#: Josephson VT-cell RAM: SFQ-native storage with the lowest energy per
+#: byte and the lowest density of the set.
+VTCELL_RAM_4K = register(ComponentEstimator(
+    name="vtcell-ram-4k",
+    kind="memory",
+    stage_k=STAGE_4K,
+    action_energy_pj_per_byte={"read": 0.05, "write": 0.08},
+    bandwidth_gbps=1400.0,
+    area_mm2_per_mib=48.0,
+    description="Josephson VT-cell RAM: aJ/bit access, very low density",
+    citation="Semenov et al., 'VLSI of Josephson-Junction-Based "
+             "Superconductor RAMs' (TASC 2019), via superloop plug-in",
+))

@@ -1,0 +1,167 @@
+"""The memory-technology resource-balancing study.
+
+Re-runs the paper's Section V-B2 resource-balancing sweep (narrow the
+PE array, reinvest the area into buffers — Fig. 21) across registered
+memory technologies: the paper's room-temperature DRAM, LN2-stage DRAM
+behind a 4K-to-77K link, and chip-stage cryoCMOS SRAM fed by
+chip-to-chip PTLs.  The interesting trade: colder memory is faster and
+cheaper per access but every joule it dissipates is multiplied by its
+stage's cooling factor, so the throughput winner and the wall-power
+winner diverge.
+
+:func:`memory_technology_plan` is the declarative grid (registered as
+the ``memory_technologies`` named plan, so ``supernpu plan run
+memory_technologies`` sweeps it through the cached job engine);
+:func:`memory_technology_study` executes it and reduces each point to
+throughput + cross-temperature wall power rows for ``examples/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.components.energy import cross_temperature_report
+from repro.core.jobs import get_runner
+from repro.core.plan import (
+    ExperimentPlan,
+    Grid,
+    batch_axis,
+    config_axis,
+    execute,
+    library_axis,
+    workload_axis,
+)
+from repro.device.cells import CellLibrary, Technology, library_for
+from repro.uarch.config import NPUConfig
+from repro.workloads.models import Network
+
+#: (memory, link) pairings that make physical sense: each memory is fed
+#: by the link reaching its stage.
+TECHNOLOGY_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("dram-300k", "4k-300k-link"),
+    ("dram-77k", "4k-77k-link"),
+    ("cryo-sram-4k", "chip2chip-ptl"),
+)
+
+#: PE-array widths re-balanced per technology (a Fig. 21 subset — the
+#: full ladder's interior points add little to the cross-technology
+#: comparison).
+STUDY_WIDTHS: Tuple[int, ...] = (256, 64, 16)
+
+
+def _study_configs(
+    pairs: Sequence[Tuple[str, str]],
+    widths: Sequence[int],
+    library: CellLibrary,
+) -> Tuple[Tuple[NPUConfig, ...], Tuple[str, ...]]:
+    from repro.core.optimizer import resource_config
+
+    configs: List[NPUConfig] = []
+    labels: List[str] = []
+    for memory_technology, link_technology in pairs:
+        for width in widths:
+            configs.append(resource_config(width, library=library).with_updates(
+                memory_technology=memory_technology,
+                link_technology=link_technology,
+            ))
+            labels.append(f"{memory_technology}/w{width}")
+    return tuple(configs), tuple(labels)
+
+
+def memory_technology_plan(
+    workloads: Optional[Sequence[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    pairs: Sequence[Tuple[str, str]] = TECHNOLOGY_PAIRS,
+    widths: Sequence[int] = STUDY_WIDTHS,
+) -> ExperimentPlan:
+    """Fig. 21's balance sweep crossed with memory technologies."""
+    library = library or library_for(Technology.RSFQ)
+    if workloads is None:
+        from repro.workloads.models import resnet50
+
+        workloads = (resnet50(),)
+    configs, labels = _study_configs(pairs, widths, library)
+    grid = Grid("balance", (
+        config_axis(configs, labels=labels),
+        workload_axis(tuple(workloads)),
+        batch_axis(("derived",)),
+        library_axis((library,)),
+    ))
+    return ExperimentPlan(
+        "memory_technologies", (grid,),
+        description="Resource balancing (Fig. 21) across registered "
+                    "memory/link technologies",
+    )
+
+
+@dataclass(frozen=True)
+class TechnologyPoint:
+    """One (technology, width) row of the study."""
+
+    memory_technology: str
+    link_technology: str
+    width: int
+    workload: str
+    batch: int
+    mac_per_s: float
+    dissipated_w: float
+    wall_power_w: float
+    mac_per_joule_wall: float
+    dissipation_by_stage_w: Dict[float, float]
+
+    def record(self) -> Dict[str, object]:
+        return {
+            "memory_technology": self.memory_technology,
+            "link_technology": self.link_technology,
+            "width": self.width,
+            "workload": self.workload,
+            "batch": self.batch,
+            "mac_per_s": self.mac_per_s,
+            "dissipated_w": self.dissipated_w,
+            "wall_power_w": self.wall_power_w,
+            "mac_per_joule_wall": self.mac_per_joule_wall,
+            "dissipation_by_stage_w": {
+                f"{stage:g}": watts
+                for stage, watts in self.dissipation_by_stage_w.items()
+            },
+        }
+
+
+def memory_technology_study(
+    workloads: Optional[Sequence[Network]] = None,
+    library: Optional[CellLibrary] = None,
+    pairs: Sequence[Tuple[str, str]] = TECHNOLOGY_PAIRS,
+    widths: Sequence[int] = STUDY_WIDTHS,
+) -> List[TechnologyPoint]:
+    """Execute the plan and reduce to per-point wall-power rows."""
+    library = library or library_for(Technology.RSFQ)
+    plan = memory_technology_plan(workloads, library, pairs, widths)
+    resultset = execute(plan)
+    runner = get_runner()
+
+    points: List[TechnologyPoint] = []
+    for result in resultset:
+        config = None
+        for value, label in zip(plan.grids[0].axes[0].values,
+                                plan.grids[0].axes[0].labels):
+            if label == result.coord("config"):
+                config = value
+                break
+        assert config is not None
+        estimate = runner.estimate(config, library)
+        report = cross_temperature_report(result.run, estimate)
+        wall = report.wall_power_w
+        points.append(TechnologyPoint(
+            memory_technology=config.memory_technology,
+            link_technology=config.link_technology,
+            width=config.pe_array_width,
+            workload=result.run.network,
+            batch=result.run.batch,
+            mac_per_s=result.run.mac_per_s,
+            dissipated_w=report.dissipated_w,
+            wall_power_w=wall,
+            mac_per_joule_wall=result.run.mac_per_s / wall if wall else 0.0,
+            dissipation_by_stage_w=dict(report.dissipation_by_stage_w),
+        ))
+    return points

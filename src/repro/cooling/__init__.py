@@ -7,11 +7,21 @@ from repro.cooling.cryocooler import (
     Cryocooler,
     carnot_cooling_factor,
 )
+from repro.cooling.ladder import (
+    PAPER_77K_FACTOR,
+    PAPER_LADDER,
+    CoolingLadder,
+    CoolingStage,
+)
 
 __all__ = [
     "AMBIENT_K",
+    "PAPER_77K_FACTOR",
     "PAPER_COOLER",
     "PAPER_COOLING_FACTOR",
+    "PAPER_LADDER",
+    "CoolingLadder",
+    "CoolingStage",
     "Cryocooler",
     "carnot_cooling_factor",
 ]

@@ -1,0 +1,138 @@
+"""Multi-stage cooling ladder: per-stage wall-power multipliers.
+
+The paper charges every dissipated watt at the single 4.2 K factor
+(400 W/W).  Once components live at different temperature stages
+(``repro.components``), each stage needs its own specific power: a
+joule burned at 77 K costs ~12 wall joules, one at 300 K costs zero
+extra.  A :class:`CoolingLadder` maps each stage's dissipation to wall
+power at that stage's factor; a degenerate single-stage ladder at
+4.2 K/400x reproduces :data:`~repro.cooling.cryocooler.PAPER_COOLER`
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.cooling.cryocooler import (
+    AMBIENT_K,
+    PAPER_COOLING_FACTOR,
+    carnot_cooling_factor,
+)
+from repro.errors import ConfigError
+
+#: Practical specific power at the 77 K (LN2) stage: Carnot is ~2.9x,
+#: real large plants run at ~25% of Carnot => ~12 wall W per 77 K W.
+PAPER_77K_FACTOR = 12.0
+
+
+@dataclass(frozen=True)
+class CoolingStage:
+    """One temperature stage with its wall-W-per-cold-W factor.
+
+    A factor of ``0`` is only meaningful at ambient (300 K), where heat
+    is rejected for free; below ambient the factor must respect the
+    Carnot bound for that temperature.
+    """
+
+    temperature_k: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0:
+            raise ConfigError("stage temperature must be positive",
+                              code="cooling.invalid_stage",
+                              temperature_k=self.temperature_k)
+        if self.temperature_k >= AMBIENT_K:
+            if self.factor != 0:
+                raise ConfigError(
+                    f"stage at {self.temperature_k} K is at/above ambient; "
+                    "its cooling factor must be 0",
+                    code="cooling.invalid_stage",
+                    temperature_k=self.temperature_k, factor=self.factor)
+            return
+        carnot = carnot_cooling_factor(self.temperature_k)
+        if self.factor < carnot:
+            raise ConfigError(
+                f"cooling factor {self.factor} at {self.temperature_k} K "
+                f"beats the Carnot bound {carnot:.2f}",
+                code="cooling.beats_carnot",
+                temperature_k=self.temperature_k, factor=self.factor,
+                carnot=carnot)
+
+    @property
+    def percent_of_carnot(self) -> float:
+        """Fraction of ideal efficiency (0 for the free ambient stage)."""
+        if self.temperature_k >= AMBIENT_K or self.factor == 0:
+            return 0.0
+        return carnot_cooling_factor(self.temperature_k) / self.factor
+
+
+@dataclass(frozen=True)
+class CoolingLadder:
+    """Stages ordered cold to hot; charges dissipation per stage."""
+
+    stages: Tuple[CoolingStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigError("a cooling ladder needs at least one stage",
+                              code="cooling.empty_ladder")
+        temps = [stage.temperature_k for stage in self.stages]
+        if sorted(temps) != temps or len(set(temps)) != len(temps):
+            raise ConfigError(
+                "ladder stages must be strictly cold-to-hot",
+                code="cooling.unordered_ladder", temperatures=temps)
+
+    def stage_for(self, temperature_k: float) -> CoolingStage:
+        """The stage at exactly ``temperature_k``."""
+        for stage in self.stages:
+            if stage.temperature_k == temperature_k:
+                return stage
+        raise ConfigError(
+            f"no cooling stage at {temperature_k} K",
+            code="cooling.unknown_stage",
+            hint="ladder stages: "
+                 + ", ".join(f"{s.temperature_k} K" for s in self.stages),
+            temperature_k=temperature_k)
+
+    def factor_at(self, temperature_k: float) -> float:
+        """Wall watts per watt dissipated at ``temperature_k``."""
+        return self.stage_for(temperature_k).factor
+
+    def cooling_power_w(self, dissipation_by_stage_w: Mapping[float, float]) -> float:
+        """Cooling wall power for per-stage dissipation (stage K -> W)."""
+        total = 0.0
+        for temperature_k, power_w in dissipation_by_stage_w.items():
+            if power_w < 0:
+                raise ConfigError("stage dissipation must be non-negative",
+                                  code="cooling.invalid_power",
+                                  temperature_k=temperature_k, power_w=power_w)
+            total += self.factor_at(temperature_k) * power_w
+        return total
+
+    def wall_power_w(self, dissipation_by_stage_w: Mapping[float, float],
+                     free_cooling: bool = False) -> float:
+        """Total wall power: dissipation plus (unless free) cooling."""
+        dissipated = sum(dissipation_by_stage_w.values())
+        if free_cooling:
+            return dissipated
+        return dissipated + self.cooling_power_w(dissipation_by_stage_w)
+
+    def breakdown_w(self, dissipation_by_stage_w: Mapping[float, float]
+                    ) -> Dict[float, float]:
+        """Per-stage wall power (dissipation + that stage's cooling)."""
+        return {
+            temperature_k: power_w * (1.0 + self.factor_at(temperature_k))
+            for temperature_k, power_w in dissipation_by_stage_w.items()
+        }
+
+
+#: The paper's ladder: 400x at 4.2 K, ~12x at 77 K, free at ambient.
+#: Restricted to the 4.2 K stage it reproduces ``PAPER_COOLER`` exactly.
+PAPER_LADDER = CoolingLadder(stages=(
+    CoolingStage(temperature_k=4.2, factor=PAPER_COOLING_FACTOR),
+    CoolingStage(temperature_k=77.0, factor=PAPER_77K_FACTOR),
+    CoolingStage(temperature_k=AMBIENT_K, factor=0.0),
+))

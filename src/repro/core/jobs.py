@@ -61,6 +61,10 @@ from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, 
 
 from repro import obs
 from repro.baselines.scalesim import CMOSNPUConfig, simulate_cmos
+from repro.components.base import (
+    DEFAULT_LINK_TECHNOLOGY,
+    DEFAULT_MEMORY_TECHNOLOGY,
+)
 from repro.core.chaos import ChaosInjector
 from repro.core.resilience import RetryPolicy, SweepCheckpoint
 from repro.obs.progress import ProgressReporter
@@ -88,6 +92,26 @@ def _canonical_hash(document: Any) -> str:
     """sha256 (hex) of the canonical sorted-key JSON of ``document``."""
     text = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+#: Technology fields whose *default* values are omitted from config
+#: signatures: a default-technology config must hash (and serialize)
+#: exactly as it did before the fields existed, so every pre-registry
+#: cache key, payload, and plan hash stays bitwise-identical, while any
+#: non-default technology automatically changes every key.
+_DEFAULT_TECHNOLOGY_FIELDS = {
+    "memory_technology": DEFAULT_MEMORY_TECHNOLOGY,
+    "link_technology": DEFAULT_LINK_TECHNOLOGY,
+}
+
+
+def config_signature(config: Union[NPUConfig, CMOSNPUConfig]) -> Dict[str, Any]:
+    """The cache-relevant content of a design config (JSON-able)."""
+    document = dataclasses.asdict(config)
+    for field_name, default in _DEFAULT_TECHNOLOGY_FIELDS.items():
+        if document.get(field_name) == default:
+            del document[field_name]
+    return document
 
 
 def workload_signature(network: Network) -> Dict[str, Any]:
@@ -147,7 +171,7 @@ class SimTask:
         return _canonical_hash({
             "schema": CACHE_SCHEMA_VERSION,
             "kind": "simulate_cmos" if self.is_cmos else "simulate",
-            "config": dataclasses.asdict(self.config),
+            "config": config_signature(self.config),
             "workload": workload_signature(self.network),
             "batch": self.batch,
             "library": None if library is None else library_fingerprint(library),
@@ -159,7 +183,7 @@ def estimate_key(config: NPUConfig, library: CellLibrary) -> str:
     return _canonical_hash({
         "schema": CACHE_SCHEMA_VERSION,
         "kind": "estimate",
-        "config": dataclasses.asdict(config),
+        "config": config_signature(config),
         "library": library_fingerprint(library),
     })
 
@@ -193,8 +217,11 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
 
 
 def estimate_to_dict(estimate: NPUEstimate) -> Dict[str, Any]:
+    # config_signature keeps default-technology payloads byte-identical
+    # to pre-registry ones; estimate_from_dict refills omitted fields
+    # from the NPUConfig defaults.
     return {
-        "config": dataclasses.asdict(estimate.config),
+        "config": config_signature(estimate.config),
         "technology": estimate.technology,
         "frequency_ghz": estimate.frequency_ghz,
         "cycle_time_ps": estimate.cycle_time_ps,

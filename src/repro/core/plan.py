@@ -60,6 +60,7 @@ from repro.core.jobs import (
     JobRunner,
     SimTask,
     _canonical_hash,
+    config_signature,
     estimate_key,
     get_runner,
     library_fingerprint,
@@ -152,8 +153,10 @@ class AxisSpec:
     def value_signature(self, value: Any) -> Any:
         """The cache-relevant content of one axis value (JSON-able)."""
         if self.kind == "config":
+            # config_signature omits default technology fields so plan
+            # hashes of pre-registry plans are unchanged.
             return {"cmos": not isinstance(value, NPUConfig),
-                    "fields": dataclasses.asdict(value)}
+                    "fields": config_signature(value)}
         if self.kind == "workload":
             return workload_signature(value)
         if self.kind == "library":
@@ -194,6 +197,25 @@ def library_axis(values: Sequence[Optional[CellLibrary]], name: str = "library",
 def param_axis(name: str, values: Sequence[Any]) -> AxisSpec:
     """A free parameter axis: labels points but does not change the task."""
     return AxisSpec(name, "param", tuple(values))
+
+
+def technology_axis(base: NPUConfig, technologies: Sequence[str],
+                    name: str = "memory_technology",
+                    field_name: str = "memory_technology") -> AxisSpec:
+    """A config axis sweeping one design across registered technologies.
+
+    Each value is ``base`` with ``field_name`` (``memory_technology`` or
+    ``link_technology``) replaced; points are labeled by the technology
+    name, since every value shares the base design's name.
+    """
+    if field_name not in ("memory_technology", "link_technology"):
+        raise ConfigError(
+            f"technology axis field must be memory_technology or "
+            f"link_technology, not {field_name!r}",
+            code="plan.invalid_technology_field", axis=name)
+    configs = tuple(base.with_updates(**{field_name: technology})
+                    for technology in technologies)
+    return AxisSpec(name, "config", configs, tuple(technologies))
 
 
 # -- grids -----------------------------------------------------------------
@@ -827,6 +849,12 @@ def _plan_scaling() -> ExperimentPlan:
     return scaling_plan(supernpu())
 
 
+def _plan_memory_technologies() -> ExperimentPlan:
+    from repro.components.study import memory_technology_plan
+
+    return memory_technology_plan()
+
+
 #: Every figure/table grid as a ready-made plan (builders run with the
 #: paper's default workloads and library).
 PLAN_BUILDERS: Dict[str, Callable[[], ExperimentPlan]] = {
@@ -842,6 +870,7 @@ PLAN_BUILDERS: Dict[str, Callable[[], ExperimentPlan]] = {
     "bandwidth_sensitivity": _plan_bandwidth,
     "cooling_sensitivity": _plan_cooling,
     "process_scaling": _plan_scaling,
+    "memory_technologies": _plan_memory_technologies,
 }
 
 

@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.components.base import ComponentEstimator
 
 from repro import obs
 from repro.device import cells
 from repro.device.cells import CellLibrary
 from repro.device.process import CMOS_28NM_UM
+from repro.errors import ConfigError
 from repro.timing.clocking import ClockingScheme
 from repro.timing.frequency import GatePair
 from repro.uarch.activation import MaxPoolUnit, ReLUUnit
@@ -176,7 +180,42 @@ class NPUEstimate:
         return self.area_mm2 * proc.area_scale_factor(target_feature_um)
 
     def unit_access_energy_j(self, name: str) -> float:
-        return self.units[name].access_energy_j
+        try:
+            return self.units[name].access_energy_j
+        except KeyError:
+            raise ConfigError(
+                f"design {self.config.name!r} has no unit {name!r}",
+                code="estimator.unknown_unit",
+                hint="known units: " + ", ".join(sorted(self.units)),
+                unit=name, design=self.config.name,
+            ) from None
+
+    def components(self) -> Dict[str, "ComponentEstimator"]:
+        """The design's registered off-chip components, resolved by name.
+
+        Keys are the component kinds (``"memory"``, ``"link"``); values
+        come from the ``repro.components`` registry via the config's
+        technology fields.  Derived on demand — not part of the
+        serialized estimate payload, so cached estimates are unchanged.
+        """
+        from repro.components import component_by_name
+
+        return {
+            "memory": component_by_name(self.config.memory_technology,
+                                        kind="memory"),
+            "link": component_by_name(self.config.link_technology,
+                                      kind="link"),
+        }
+
+    def off_chip_access_energy_j(self, num_bytes: float = 1.0) -> float:
+        """Energy to move ``num_bytes`` off chip and back once: the mean
+        memory read/write energy plus the link transfer energy, from the
+        registered components."""
+        parts = self.components()
+        memory, link = parts["memory"], parts["link"]
+        return (memory.action_energy_j("read", num_bytes / 2)
+                + memory.action_energy_j("write", num_bytes / 2)
+                + link.action_energy_j("transfer", num_bytes))
 
 
 def estimate_npu(

@@ -28,7 +28,7 @@ from typing import Optional
 
 from repro.device.cells import CellLibrary
 from repro.estimator.arch_level import NPUEstimate, build_units, estimate_npu, interface_gate_pairs
-from repro.simulator.memory import MemoryModel
+from repro.simulator.memory import MemoryModel, memory_model_for
 from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
 from repro.uarch.config import NPUConfig
 from repro.uarch.mac import Dataflow
@@ -157,7 +157,7 @@ def simulate_os(
             library = rsfq_library()
         estimate = estimate_os_npu(config, library)
 
-    memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+    memory = memory_model_for(config, estimate.frequency_ghz)
     pe_stages = ProcessingElement(
         bits=config.data_bits, psum_bits=config.psum_bits
     ).pipeline_stages

@@ -34,7 +34,7 @@ from repro.device.cells import CellLibrary
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
 from repro.simulator.datapath import build_datapath
 from repro.simulator.mapping import LayerMapping, map_layer
-from repro.simulator.memory import MemoryModel
+from repro.simulator.memory import MemoryModel, memory_model_for
 from repro.simulator.results import ActivityTrace, LayerResult, SimulationResult
 from repro.uarch.buffers import ShiftRegisterBuffer
 from repro.uarch.config import NPUConfig
@@ -193,7 +193,7 @@ def simulate(
                 library = rsfq_library()
             estimate = estimate_npu(config, library)
 
-        memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+        memory = memory_model_for(config, estimate.frequency_ghz)
         datapath = build_datapath(config)
 
         activity = ActivityTrace()

@@ -6,12 +6,21 @@ so the NPU talks to room-temperature CMOS DRAM; the paper abstracts it as a
 flat bandwidth (300 GB/s, the TPUv2 HBM figure).  We model a DMA engine
 that overlaps transfers with on-chip work: a layer's wall-clock cycles are
 ``max(on_chip_cycles, traffic / bytes_per_cycle)``.
+
+Which memory/link the bandwidth comes from is a registry choice:
+:func:`memory_model_for` resolves a config's ``memory_technology`` /
+``link_technology`` fields against ``repro.components`` — the default
+technologies inherit ``memory_bandwidth_gbps`` unchanged, reproducing the
+paper's fixed-DRAM model bitwise, while e.g. ``cryo-sram-4k`` substitutes
+its own sustained bandwidth (capped by the link's, if any).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -23,9 +32,19 @@ class MemoryModel:
 
     def __post_init__(self) -> None:
         if self.bandwidth_gbps <= 0:
-            raise ValueError("memory bandwidth must be positive")
+            raise ConfigError(
+                "memory bandwidth must be positive",
+                code="config.invalid_value",
+                bandwidth_gbps=self.bandwidth_gbps,
+                hint="transfer_cycles would divide by a non-positive "
+                     "bytes-per-cycle rate",
+            )
         if self.frequency_ghz <= 0:
-            raise ValueError("clock frequency must be positive")
+            raise ConfigError(
+                "clock frequency must be positive",
+                code="config.invalid_value",
+                frequency_ghz=self.frequency_ghz,
+            )
 
     @property
     def bytes_per_cycle(self) -> float:
@@ -41,3 +60,32 @@ class MemoryModel:
         if num_bytes < 0:
             raise ValueError("byte count must be non-negative")
         return math.ceil(num_bytes / self.bytes_per_cycle)
+
+
+def memory_model_for(config, frequency_ghz: float) -> MemoryModel:
+    """The registry-backed :class:`MemoryModel` of one design point.
+
+    Resolves ``config.memory_technology`` / ``config.link_technology``
+    (via ``getattr`` with defaults, so CMOS baseline configs without the
+    fields work unchanged) and takes the slower of the memory's and the
+    link's sustained bandwidth.  Components that declare no bandwidth
+    inherit ``config.memory_bandwidth_gbps`` — with default technologies
+    the result is exactly ``MemoryModel(config.memory_bandwidth_gbps,
+    frequency_ghz)``.
+    """
+    from repro.components import (
+        DEFAULT_LINK_TECHNOLOGY,
+        DEFAULT_MEMORY_TECHNOLOGY,
+        component_by_name,
+    )
+
+    memory = component_by_name(
+        getattr(config, "memory_technology", DEFAULT_MEMORY_TECHNOLOGY),
+        kind="memory")
+    link = component_by_name(
+        getattr(config, "link_technology", DEFAULT_LINK_TECHNOLOGY),
+        kind="link")
+    bandwidth = memory.resolved_bandwidth_gbps(config.memory_bandwidth_gbps)
+    if link.bandwidth_gbps is not None:
+        bandwidth = min(bandwidth, link.bandwidth_gbps)
+    return MemoryModel(bandwidth, frequency_ghz)

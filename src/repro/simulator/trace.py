@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
 from repro.simulator.datapath import build_datapath
 from repro.simulator.mapping import map_layer
-from repro.simulator.memory import MemoryModel
+from repro.simulator.memory import memory_model_for
 from repro.uarch.config import NPUConfig
 from repro.workloads.layers import ConvLayer
 
@@ -121,7 +121,7 @@ def verify_against_engine(
     from repro.simulator.results import ActivityTrace
 
     estimate = estimate_npu(config, _default_library())
-    memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+    memory = memory_model_for(config, estimate.frequency_ghz)
     datapath = build_datapath(config)
     result, _ = simulate_layer(
         layer, config, batch, memory, datapath.ifmap_buffer,

@@ -27,7 +27,7 @@ from typing import Dict, Optional
 from repro.device.cells import CellLibrary
 from repro.estimator.arch_level import NPUEstimate, estimate_npu
 from repro.simulator.engine import simulate
-from repro.simulator.memory import MemoryModel
+from repro.simulator.memory import memory_model_for
 from repro.simulator.results import SimulationResult
 from repro.uarch.config import NPUConfig
 from repro.workloads.layers import ConvLayer
@@ -153,7 +153,7 @@ def simulate_training_step(
     )
 
     # Weight update: read + write every weight once through the array edge.
-    memory = MemoryModel(config.memory_bandwidth_gbps, estimate.frequency_ghz)
+    memory = memory_model_for(config, estimate.frequency_ghz)
     update_bytes = 2 * network.total_weight_bytes
     stream_cycles = network.total_weight_bytes // config.pe_array_width
     weight_update = max(stream_cycles, memory.transfer_cycles(update_bytes))

@@ -39,6 +39,13 @@ class NPUConfig:
         output_division: Number of chunks the output buffer is divided into.
         registers_per_pe: Weight registers per PE (multi-kernel execution).
         memory_bandwidth_gbps: Off-chip DRAM bandwidth in GB/s.
+        memory_technology: Registered memory component the off-chip
+            traffic is charged to (``repro.components``); the default
+            (``"dram-300k"``) inherits ``memory_bandwidth_gbps`` and
+            reproduces the paper's fixed-DRAM model bitwise.
+        link_technology: Registered link component carrying that traffic
+            across temperature stages (default: the paper's implicit
+            4.2K-to-300K cable bundle).
     """
 
     name: str
@@ -55,6 +62,8 @@ class NPUConfig:
     output_division: int = 1
     registers_per_pe: int = 1
     memory_bandwidth_gbps: float = 300.0
+    memory_technology: str = "dram-300k"
+    link_technology: str = "4k-300k-link"
 
     def __post_init__(self) -> None:
         if self.pe_array_width < 1 or self.pe_array_height < 1:
@@ -86,6 +95,13 @@ class NPUConfig:
             if getattr(self, field_name) < 0:
                 raise ConfigError(f"{field_name} must be non-negative",
                                   code="config.invalid_value", field=field_name)
+        # Technology names must resolve in the component registry; the
+        # import is deferred so repro.components stays a leaf package
+        # (importing the package, not just base, loads the built-ins).
+        from repro.components import component_by_name
+
+        component_by_name(self.memory_technology, kind="memory")
+        component_by_name(self.link_technology, kind="link")
 
     # -- Derived quantities --------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Cryocooler model tests (Table III cooling scenarios)."""
+"""Cryocooler model tests (Table III cooling scenarios + the ladder)."""
 
 import math
 
@@ -10,6 +10,13 @@ from repro.cooling.cryocooler import (
     Cryocooler,
     carnot_cooling_factor,
 )
+from repro.cooling.ladder import (
+    PAPER_77K_FACTOR,
+    PAPER_LADDER,
+    CoolingLadder,
+    CoolingStage,
+)
+from repro.errors import ConfigError
 
 
 def test_paper_factor_is_400():
@@ -60,3 +67,65 @@ def test_invalid_temperatures():
         carnot_cooling_factor(0.0)
     with pytest.raises(ValueError):
         carnot_cooling_factor(300.0, 4.0)
+
+
+# -- the multi-stage ladder -------------------------------------------------
+
+def test_ladder_stage_carnot_rejection():
+    """A 77 K stage cannot beat its own Carnot bound (~2.9x)."""
+    with pytest.raises(ConfigError, match="Carnot"):
+        CoolingStage(temperature_k=77.0, factor=1.0)
+
+
+def test_ladder_stage_percent_of_carnot():
+    stage = CoolingStage(temperature_k=4.2, factor=PAPER_COOLING_FACTOR)
+    assert math.isclose(stage.percent_of_carnot,
+                        PAPER_COOLER.percent_of_carnot)
+    assert PAPER_LADDER.stage_for(300.0).percent_of_carnot == 0.0
+
+
+def test_ladder_ambient_stage_must_be_free():
+    with pytest.raises(ConfigError, match="ambient"):
+        CoolingStage(temperature_k=300.0, factor=5.0)
+
+
+def test_ladder_stages_must_be_ordered():
+    with pytest.raises(ConfigError, match="cold-to-hot"):
+        CoolingLadder(stages=(
+            CoolingStage(temperature_k=77.0, factor=PAPER_77K_FACTOR),
+            CoolingStage(temperature_k=4.2, factor=400.0),
+        ))
+
+
+def test_degenerate_single_stage_ladder_matches_paper_cooler():
+    """A one-stage 4.2K/400x ladder is exactly the paper's cooler."""
+    ladder = CoolingLadder(stages=(
+        CoolingStage(temperature_k=4.2, factor=PAPER_COOLING_FACTOR),))
+    for chip_w in (0.0, 1.9, 964.0):
+        assert ladder.wall_power_w({4.2: chip_w}) == \
+            PAPER_COOLER.wall_power_w(chip_w)
+        assert ladder.cooling_power_w({4.2: chip_w}) == \
+            PAPER_COOLER.cooling_power_w(chip_w)
+
+
+def test_ladder_free_cooling_wall_power():
+    dissipation = {4.2: 10.0, 77.0: 100.0, 300.0: 5.0}
+    assert PAPER_LADDER.wall_power_w(dissipation, free_cooling=True) == 115.0
+
+
+def test_paper_ladder_charges_each_stage_at_its_factor():
+    dissipation = {4.2: 2.0, 77.0: 10.0, 300.0: 50.0}
+    cooling = PAPER_LADDER.cooling_power_w(dissipation)
+    assert math.isclose(cooling, 2.0 * 400.0 + 10.0 * PAPER_77K_FACTOR)
+    wall = PAPER_LADDER.wall_power_w(dissipation)
+    assert math.isclose(wall, 62.0 + cooling)
+    breakdown = PAPER_LADDER.breakdown_w(dissipation)
+    assert math.isclose(sum(breakdown.values()), wall)
+    assert breakdown[300.0] == 50.0  # ambient heat is rejected for free
+
+
+def test_ladder_unknown_stage_and_negative_power():
+    with pytest.raises(ConfigError, match="no cooling stage"):
+        PAPER_LADDER.factor_at(10.0)
+    with pytest.raises(ConfigError, match="non-negative"):
+        PAPER_LADDER.cooling_power_w({4.2: -1.0})
